@@ -1,0 +1,221 @@
+//! Comparison baselines for the LDX evaluation.
+//!
+//! * [`tightlip_execute`] — a TightLip-like doppelganger comparison with a
+//!   positional tolerance window (paper Table 2's counterpart): it cannot
+//!   align through path differences, so any nontrivial syscall divergence
+//!   is reported as a potential leak;
+//! * [`ei_dual_execute`] — a DualEx-like dual execution aligned by full
+//!   execution indexing at instruction granularity (paper §9's
+//!   three-orders-of-magnitude-slower comparison point);
+//! * [`mutate_config`] — world-level source mutation used by both (the
+//!   independent-execution equivalent of LDX's outcome mutation).
+
+mod config_mutate;
+mod eidualex;
+mod tightlip;
+
+pub use config_mutate::mutate_config;
+pub use eidualex::{ei_dual_execute, EiReport};
+pub use tightlip::{tightlip_execute, TightLipReport, WINDOW};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldx_dualex::{Mutation, SinkSpec, SourceMatcher, SourceSpec};
+    use ldx_runtime::ExecConfig;
+    use ldx_vos::{PeerBehavior, VosConfig};
+    use std::sync::Arc;
+
+    fn build(src: &str) -> Arc<ldx_ir::IrProgram> {
+        Arc::new(
+            ldx_instrument::instrument(&ldx_ir::lower(&ldx_lang::compile(src).unwrap()))
+                .into_program(),
+        )
+    }
+
+    /// Program whose *syscalls* differ under mutation but whose output is
+    /// unchanged — LDX stays quiet, TightLip must (falsely) report.
+    fn path_diff_no_leak() -> (Arc<ldx_ir::IrProgram>, VosConfig, Vec<SourceSpec>) {
+        let p = build(
+            r#"fn main() {
+                let fd = open("/config", 0);
+                let mode = trim(read(fd, 8));
+                if (mode == "cache") {
+                    let c = open("/cache", 0);
+                    let d = read(c, 8);
+                    close(c);
+                } else {
+                    let w = open("/cache", 1);
+                    write(w, "data    ");
+                    close(w);
+                }
+                send(connect("out"), "ok");
+            }"#,
+        );
+        let cfg = VosConfig::new()
+            .file("/config", "cache   ")
+            .file("/cache", "data    ")
+            .peer("out", PeerBehavior::Echo);
+        let sources = vec![SourceSpec {
+            matcher: SourceMatcher::FileRead("/config".into()),
+            mutation: Mutation::Replace("rebuild ".into()),
+        }];
+        (p, cfg, sources)
+    }
+
+    #[test]
+    fn tightlip_reports_on_path_difference_without_leak() {
+        let (p, cfg, sources) = path_diff_no_leak();
+        let r = tightlip_execute(
+            p,
+            &cfg,
+            &sources,
+            &SinkSpec::NetworkOut,
+            ExecConfig::default(),
+        );
+        assert!(r.reported, "TightLip cannot align through path differences");
+        assert!(r.first_divergence.is_some());
+    }
+
+    #[test]
+    fn tightlip_quiet_when_streams_identical() {
+        let p = build(
+            r#"fn main() {
+                let fd = open("/in", 0);
+                let d = read(fd, 4);
+                send(connect("out"), "fixed");
+            }"#,
+        );
+        let cfg = VosConfig::new()
+            .file("/in", "abcd")
+            .peer("out", PeerBehavior::Echo);
+        // Identity mutation: streams identical.
+        let sources = vec![SourceSpec::file("/in").with_mutation(Mutation::Identity)];
+        let r = tightlip_execute(
+            p,
+            &cfg,
+            &sources,
+            &SinkSpec::NetworkOut,
+            ExecConfig::default(),
+        );
+        assert!(!r.reported, "{:?}", r.reason);
+    }
+
+    #[test]
+    fn tightlip_detects_real_sink_difference() {
+        let p = build(
+            r#"fn main() {
+                let fd = open("/secret", 0);
+                let s = read(fd, 8);
+                send(connect("out"), s);
+            }"#,
+        );
+        let cfg = VosConfig::new()
+            .file("/secret", "aaa")
+            .peer("out", PeerBehavior::Echo);
+        let r = tightlip_execute(
+            p,
+            &cfg,
+            &[SourceSpec::file("/secret")],
+            &SinkSpec::NetworkOut,
+            ExecConfig::default(),
+        );
+        assert!(r.reported);
+        assert!(r.reason.as_deref().unwrap_or("").contains("differ"));
+    }
+
+    #[test]
+    fn tightlip_window_boundary() {
+        // A benign divergence of exactly W extra *input* syscalls is
+        // tolerated; W+2 extra falls off the window and is reported.
+        let make = |extra: usize| {
+            let reads: String = (0..extra)
+                .map(|i| format!("let x{i} = read(fd, 1);\n"))
+                .collect();
+            let src = format!(
+                r#"fn main() {{
+                    let fd = open("/in", 0);
+                    let mode = trim(read(fd, 4));
+                    if (mode == "deep") {{ {reads} }}
+                    send(connect("out"), "ok");
+                }}"#
+            );
+            build(&src)
+        };
+        let cfg = VosConfig::new()
+            .file("/in", "flat____________________________")
+            .peer("out", PeerBehavior::Echo);
+        let sources = vec![SourceSpec {
+            matcher: SourceMatcher::FileRead("/in".into()),
+            mutation: Mutation::Replace("deep____________________________".into()),
+        }];
+        let tolerated = tightlip_execute(
+            make(WINDOW - 1),
+            &cfg,
+            &sources,
+            &SinkSpec::NetworkOut,
+            ExecConfig::default(),
+        );
+        assert!(!tolerated.reported, "{:?}", tolerated.reason);
+        let beyond = tightlip_execute(
+            make(WINDOW + 2),
+            &cfg,
+            &sources,
+            &SinkSpec::NetworkOut,
+            ExecConfig::default(),
+        );
+        assert!(beyond.reported, "divergence beyond the window");
+    }
+
+    #[test]
+    fn ei_dualex_aligns_identical_streams() {
+        let p = build(
+            r#"fn main() {
+                let fd = open("/in", 0);
+                let d = read(fd, 4);
+                write(3, "fixed");
+            }"#,
+        );
+        let cfg = VosConfig::new().file("/in", "abcd");
+        let sources = vec![SourceSpec::file("/in").with_mutation(Mutation::Identity)];
+        let r = ei_dual_execute(p, &cfg, &sources, &SinkSpec::Outputs, ExecConfig::default());
+        assert!(r.master.is_ok() && r.slave.is_ok());
+        assert!(!r.reported, "identical runs align");
+        assert!(r.aligned >= 3);
+    }
+
+    #[test]
+    fn ei_dualex_detects_leak_or_divergence() {
+        let p = build(
+            r#"fn main() {
+                let fd = open("/secret", 0);
+                let s = read(fd, 8);
+                send(connect("out"), s);
+            }"#,
+        );
+        let cfg = VosConfig::new()
+            .file("/secret", "aaa")
+            .peer("out", PeerBehavior::Echo);
+        let r = ei_dual_execute(
+            p,
+            &cfg,
+            &[SourceSpec::file("/secret")],
+            &SinkSpec::NetworkOut,
+            ExecConfig::default(),
+        );
+        assert!(r.reported);
+    }
+
+    #[test]
+    fn ei_dualex_reports_divergence_on_path_difference() {
+        let (p, cfg, sources) = path_diff_no_leak();
+        let r = ei_dual_execute(
+            p,
+            &cfg,
+            &sources,
+            &SinkSpec::NetworkOut,
+            ExecConfig::default(),
+        );
+        assert!(r.reported, "EI streams diverge on path differences");
+    }
+}

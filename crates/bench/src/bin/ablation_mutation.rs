@@ -1,0 +1,76 @@
+//! §8.3 "Input Mutation" study: compares mutation strategies.
+//!
+//! The paper: "off-by-one mutation ... must detect any strong CCs as
+//! proved ... We conduct an experiment to study different mutation
+//! strategies. We observe that other strategies do not supersede
+//! off-by-one." Here, every corpus workload with a leaking spec is re-run
+//! under each strategy; the table reports how many leaks each one detects.
+//!
+//! Run: `cargo run -p ldx-bench --bin ablation_mutation`
+
+use ldx_dualex::{dual_execute, DualSpec, Mutation, SourceSpec};
+
+fn main() {
+    let strategies = [
+        ("off-by-one", Mutation::OffByOne),
+        ("bit-flip", Mutation::BitFlip),
+        ("zero", Mutation::Zero),
+        ("identity", Mutation::Identity),
+    ];
+    println!(
+        "{:<12} {}",
+        "program",
+        strategies
+            .iter()
+            .map(|(n, _)| format!("{n:>11}"))
+            .collect::<String>()
+    );
+
+    let mut detected = vec![0u32; strategies.len()];
+    let mut total = 0u32;
+    for w in ldx_workloads::corpus() {
+        total += 1;
+        let program = w.program();
+        let mut row = format!("{:<12}", w.name);
+        for (i, (_, mutation)) in strategies.iter().enumerate() {
+            let spec = DualSpec {
+                sources: w
+                    .sources
+                    .iter()
+                    .map(|s| SourceSpec {
+                        matcher: s.matcher.clone(),
+                        mutation: mutation.clone(),
+                    })
+                    .collect(),
+                sinks: w.sinks.clone(),
+                trace: false,
+                enforcement: false,
+                exec: Default::default(),
+            };
+            let report = dual_execute(program.clone(), &w.world, &spec);
+            let leak = report.leaked();
+            if leak {
+                detected[i] += 1;
+            }
+            row.push_str(&format!("{:>11}", if leak { "O" } else { "X" }));
+        }
+        println!("{row}");
+    }
+    println!("\ndetections out of {total}:");
+    for (i, (name, _)) in strategies.iter().enumerate() {
+        println!("  {name:<12} {}", detected[i]);
+    }
+    println!(
+        "\nreading: identity detects nothing on deterministic programs (any \
+         identity hit is a race-induced false positive on a concurrent \
+         workload — the paper's §7 caveat). Off-by-one is the \
+         only strategy with a *guarantee* — it flips every strong \
+         (one-to-one) causality — but strategies are incomparable on weak \
+         flows: zeroing collapses distinct values (many-to-one) yet can \
+         flip coarse predicates a one-step perturbation cannot, and \
+         threshold-style leaks need threshold-crossing inputs. This is the \
+         paper's point that no strategy supersedes off-by-one where it \
+         matters (strong causality), not that off-by-one dominates \
+         pointwise."
+    );
+}

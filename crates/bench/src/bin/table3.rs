@@ -1,0 +1,92 @@
+//! Regenerates paper **Table 3**: effectiveness of causality inference.
+//!
+//! The paper's headline claim: "LIBDFT and TaintGrind can only detect
+//! 31.47% and 20% of the true information leak cases and attacks detected
+//! by LDX" (§1), because data-dependence tracking misses control-induced
+//! causality. For every workload (and the §8.4 case studies) this binary
+//! reports:
+//!
+//! * the per-tool **verdict** — did the tool flag the known leak/attack at
+//!   all (`O`/`X`)? This is the "cases detected" metric of the claim;
+//! * the per-tool tainted-sink **instance counts** and the total dynamic
+//!   sinks (the table's raw columns). Note a structural point the paper
+//!   makes in §2: dependence tracking *over*-approximates on data-rich
+//!   programs (weak, many-to-one flows get tainted even when the output
+//!   cannot actually be influenced), so instance counts can exceed LDX's
+//!   confirmed-causality counts on some rows while whole cases are still
+//!   missed on others.
+//!
+//! Structural invariants reproduced: LIBDFT cases ⊆ TAINTGRIND cases ⊆
+//! LDX cases, and LDX detects 100% of the planted cases with no false
+//! positives (Table 2's benign column).
+//!
+//! Run: `cargo run -p ldx-bench --bin table3`
+
+use ldx_dualex::dual_execute;
+use ldx_taint::{taint_execute, TaintPolicy};
+
+fn main() {
+    println!(
+        "{:<12} {:>5} {:>5} {:>5} | {:>9} {:>11} {:>8} {:>12}",
+        "program", "ldx", "tg", "dft", "ldx-sinks", "tg-sinks", "dft-sinks", "total-sinks"
+    );
+    let mut cases = 0u32;
+    let mut ldx_cases = 0u32;
+    let mut tg_cases = 0u32;
+    let mut dft_cases = 0u32;
+    let mut workloads = ldx_workloads::corpus();
+    workloads.push(ldx_workloads::preprocessor_case_study());
+    workloads.push(ldx_workloads::showip_case_study());
+    for w in workloads {
+        let program = w.program();
+        let ldx_report = dual_execute(program.clone(), &w.world, &w.dual_spec());
+        let uninstrumented = w.program_uninstrumented();
+        // The taint tools analyze the *attack/mutated* input, like the
+        // paper running each exploit under the tool.
+        let taint_world = ldx_baselines::mutate_config(&w.world, &w.sources);
+        let tg = taint_execute(
+            &uninstrumented,
+            &taint_world,
+            &w.sources,
+            &w.sinks,
+            TaintPolicy::TaintGrindLike,
+        );
+        let dft = taint_execute(
+            &uninstrumented,
+            &taint_world,
+            &w.sources,
+            &w.sinks,
+            TaintPolicy::LibDftLike,
+        );
+        cases += 1;
+        let v = |b: bool| if b { "O" } else { "X" };
+        if ldx_report.leaked() {
+            ldx_cases += 1;
+        }
+        if tg.any_tainted() {
+            tg_cases += 1;
+        }
+        if dft.any_tainted() {
+            dft_cases += 1;
+        }
+        println!(
+            "{:<12} {:>5} {:>5} {:>5} | {:>9} {:>11} {:>8} {:>12}",
+            w.name,
+            v(ldx_report.leaked()),
+            v(tg.any_tainted()),
+            v(dft.any_tainted()),
+            ldx_report.tainted_sinks(),
+            tg.tainted_sink_instances,
+            dft.tainted_sink_instances,
+            tg.total_sink_instances,
+        );
+    }
+    println!(
+        "\ncases detected: LDX {ldx_cases}/{cases} (100% expected), \
+         TAINTGRIND {tg_cases}/{cases} ({:.1}% of LDX), \
+         LIBDFT {dft_cases}/{cases} ({:.1}% of LDX)",
+        tg_cases as f64 * 100.0 / ldx_cases.max(1) as f64,
+        dft_cases as f64 * 100.0 / ldx_cases.max(1) as f64,
+    );
+    println!("paper: TAINTGRIND 31.47%, LIBDFT 20% of LDX's detected cases.");
+}

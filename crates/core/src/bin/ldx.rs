@@ -1,0 +1,131 @@
+//! The `ldx` command-line tool: run a causality analysis on an Lx program.
+//!
+//! ```console
+//! $ ldx <program.lx> <experiment.ldx> [--attribute] [--strength]
+//! ```
+//!
+//! The experiment file describes the world (files, peers, clients) and the
+//! analysis (sources, sinks, trace/enforce flags); see
+//! [`ldx::specfile`] for the format.
+
+use ldx::specfile::parse_experiment;
+use ldx::Analysis;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flags: Vec<&str> = args
+        .iter()
+        .filter(|a| a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let files: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let [program_path, experiment_path] = files.as_slice() else {
+        eprintln!("usage: ldx <program.lx> <experiment.ldx> [--attribute] [--strength] [--taint]");
+        return ExitCode::from(2);
+    };
+
+    let source = match std::fs::read_to_string(program_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {program_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let experiment_text = match std::fs::read_to_string(experiment_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {experiment_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let experiment = match parse_experiment(&experiment_text) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("{experiment_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut analysis = match Analysis::for_source(&source) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{program_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    analysis = analysis.world(experiment.world);
+    for s in experiment.spec.sources {
+        analysis = analysis.source(s);
+    }
+    analysis = analysis.sinks(experiment.spec.sinks);
+    if experiment.spec.trace {
+        analysis = analysis.traced();
+    }
+    if experiment.spec.enforcement {
+        analysis = analysis.enforcing();
+    }
+
+    eprintln!(
+        "instrumentation: {} instrs, {} added ({:.2}%), {} loops, max cnt {}",
+        analysis.instrumentation_report().total_original_instrs(),
+        analysis.instrumentation_report().total_added_instrs(),
+        analysis.instrumentation_report().instrumented_fraction() * 100.0,
+        analysis.instrumentation_report().total_loops(),
+        analysis.instrumentation_report().max_cnt,
+    );
+
+    let report = analysis.run();
+    for line in report.trace_lines() {
+        println!("trace: {line}");
+    }
+    println!(
+        "shared={} decoupled={} syscall_diffs={} master_sinks={}",
+        report.shared, report.decoupled, report.syscall_diffs, report.master_sinks
+    );
+
+    if flags.contains(&"--attribute") {
+        for attr in analysis.attribute_sources() {
+            println!(
+                "source #{} {:?}: {}",
+                attr.index,
+                attr.source.matcher,
+                if attr.causal { "CAUSAL" } else { "inert" }
+            );
+        }
+    }
+    if flags.contains(&"--taint") {
+        for policy in [
+            ldx::TaintPolicy::TaintGrindLike,
+            ldx::TaintPolicy::LibDftLike,
+        ] {
+            let t = analysis.run_taint(policy);
+            println!(
+                "{}: {} / {} sinks tainted",
+                policy.name(),
+                t.tainted_sink_instances,
+                t.total_sink_instances
+            );
+        }
+    }
+    if flags.contains(&"--strength") {
+        let s = analysis.causal_strength(&[]);
+        println!(
+            "strength: {}/{} probes observable (score {:.2})",
+            s.flipped,
+            s.probed,
+            s.score()
+        );
+    }
+
+    if report.leaked() {
+        println!("CAUSALITY DETECTED ({} records):", report.causality.len());
+        for c in &report.causality {
+            println!("  {c}");
+        }
+        ExitCode::from(1)
+    } else {
+        println!("no causality between the configured sources and sinks");
+        ExitCode::SUCCESS
+    }
+}

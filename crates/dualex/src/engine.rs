@@ -1,0 +1,124 @@
+//! The dual-execution orchestrator.
+
+use crate::couple::Coupling;
+use crate::master::MasterHooks;
+use crate::report::{CausalityKind, CausalityRecord, DualReport, Role};
+use crate::resolved::{ResolvedSinks, ResolvedSources};
+use crate::slave::SlaveHooks;
+use crate::spec::DualSpec;
+use ldx_ir::{FuncId, IrProgram, SiteId};
+use ldx_lang::Syscall;
+use ldx_runtime::{run_program, LockTable, ProgressKey, RunOutcome, SyscallHooks, ThreadKey, Trap};
+use ldx_vos::{SlaveVos, Vos, VosConfig};
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// Runs the master and the slave concurrently (each on its own OS thread,
+/// like the paper's "two separate CPUs") and returns the causality report.
+///
+/// The master executes against a fresh world built from `config`; the
+/// slave shares the master's aligned syscall outcomes, perturbs the
+/// configured sources, and falls back to a private copy-on-divergence
+/// overlay when the executions diverge.
+pub fn dual_execute(program: Arc<IrProgram>, config: &VosConfig, spec: &DualSpec) -> DualReport {
+    let coupling = Arc::new(Coupling::new(spec.trace));
+    let master_vos = Arc::new(Vos::new(config));
+
+    let sinks = ResolvedSinks::resolve(spec, &program);
+    let sources = ResolvedSources::resolve(&spec.sources, &program);
+
+    let master_hooks: Arc<dyn SyscallHooks> = Arc::new(MasterHooks {
+        coupling: Arc::clone(&coupling),
+        vos: Arc::clone(&master_vos),
+        locks: LockTable::new(),
+        sinks: sinks.clone(),
+        enforcement: spec.enforcement,
+    });
+    let slave_hooks: Arc<dyn SyscallHooks> = Arc::new(SlaveHooks {
+        coupling: Arc::clone(&coupling),
+        overlay: SlaveVos::new(Arc::clone(&master_vos), config),
+        locks: LockTable::new(),
+        sinks,
+        sources,
+        fdmap: Mutex::new(Default::default()),
+        decoupled_threads: Mutex::new(HashSet::new()),
+        spawn_counts: Mutex::new(HashMap::new()),
+    });
+
+    let exec = spec.exec;
+    let (master_result, slave_result) = std::thread::scope(|s| {
+        let mc = Arc::clone(&coupling);
+        let mp = Arc::clone(&program);
+        let master = s.spawn(move || {
+            let r = run_program(mp, master_hooks, exec);
+            mc.finish_execution(Role::Master);
+            r
+        });
+        let sc = Arc::clone(&coupling);
+        let sp = Arc::clone(&program);
+        let slave = s.spawn(move || {
+            let r = run_program(sp, slave_hooks, exec);
+            sc.finish_execution(Role::Slave);
+            r
+        });
+        (
+            master.join().expect("master thread"),
+            slave.join().expect("slave thread"),
+        )
+    });
+
+    // Master-only leftovers (syscalls the slave never reached).
+    coupling.reconcile();
+
+    // The implicit whole-execution sink: different end states (crash vs
+    // normal exit, different exit codes) indicate causality too — this is
+    // how exploit-induced crashes surface in attack detection.
+    if let Some((m, s)) = end_diff(&master_result, &slave_result) {
+        coupling.record(CausalityRecord {
+            kind: CausalityKind::EndDiff {
+                master: m,
+                slave: s,
+            },
+            thread: ThreadKey::root(),
+            key: ProgressKey::top(),
+            func: FuncId(0),
+            site: SiteId(0),
+            sys: Syscall::Exit,
+        });
+    }
+
+    let causality = coupling.records.lock().clone();
+    let trace = coupling
+        .trace
+        .as_ref()
+        .map(|t| t.lock().clone())
+        .unwrap_or_default();
+    DualReport {
+        causality,
+        master: master_result,
+        slave: slave_result,
+        syscall_diffs: coupling.stats.diffs.load(Ordering::Relaxed),
+        shared: coupling.stats.shared.load(Ordering::Relaxed),
+        decoupled: coupling.stats.decoupled.load(Ordering::Relaxed),
+        master_sinks: coupling.stats.master_sinks.load(Ordering::Relaxed),
+        trace,
+    }
+}
+
+fn end_diff(
+    master: &Result<RunOutcome, Trap>,
+    slave: &Result<RunOutcome, Trap>,
+) -> Option<(String, String)> {
+    let render = |r: &Result<RunOutcome, Trap>| match r {
+        Ok(out) => format!("exit {}", out.exit_code),
+        Err(trap) => format!("trap: {trap}"),
+    };
+    let differs = match (master, slave) {
+        (Ok(m), Ok(s)) => m.exit_code != s.exit_code,
+        (Err(_), Err(_)) => false,
+        _ => true,
+    };
+    differs.then(|| (render(master), render(slave)))
+}

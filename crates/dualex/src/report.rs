@@ -1,0 +1,287 @@
+//! Causality reports and dual-execution outcome types.
+
+use ldx_ir::{FuncId, SiteId};
+use ldx_lang::Syscall;
+use ldx_runtime::{ProgressKey, RunOutcome, ThreadKey, Trap};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Why a causality was reported at a sink (the cases of paper Alg. 2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CausalityKind {
+    /// Aligned sinks with different arguments (case 3).
+    ArgDiff {
+        /// The master's sink payload.
+        master: String,
+        /// The slave's sink payload.
+        slave: String,
+    },
+    /// A sink the master executed that has no aligned slave sink (cases
+    /// 1–2: the perturbation made it disappear).
+    MasterOnlySink,
+    /// A sink only the slave executed (the perturbation made it appear).
+    SlaveOnlySink,
+    /// Same progress key but a different site/syscall (case 2: path
+    /// difference at a sink).
+    PathDiffAtSink,
+    /// The executions ended differently (one trapped / different exit
+    /// codes) — the implicit whole-execution sink, used by attack
+    /// detection when the exploit crashes one run.
+    EndDiff {
+        /// Rendered master end state.
+        master: String,
+        /// Rendered slave end state.
+        slave: String,
+    },
+}
+
+/// One detected strong causality between the sources and a sink.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CausalityRecord {
+    /// Which kind of difference was observed.
+    pub kind: CausalityKind,
+    /// The Lx thread (pair) that reached the sink.
+    pub thread: ThreadKey,
+    /// Progress key of the sink.
+    pub key: ProgressKey,
+    /// Function containing the sink site.
+    pub func: FuncId,
+    /// The sink site.
+    pub site: SiteId,
+    /// The sink syscall.
+    pub sys: Syscall,
+}
+
+impl fmt::Display for CausalityRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = match &self.kind {
+            CausalityKind::ArgDiff { master, slave } => {
+                format!("argument difference ({master:?} vs {slave:?})")
+            }
+            CausalityKind::MasterOnlySink => "sink missing in slave".to_string(),
+            CausalityKind::SlaveOnlySink => "sink only in slave".to_string(),
+            CausalityKind::PathDiffAtSink => "path difference at sink".to_string(),
+            CausalityKind::EndDiff { master, slave } => {
+                format!("execution end difference ({master} vs {slave})")
+            }
+        };
+        write!(
+            f,
+            "causality at {}:{} ({}) on {} [key {}]: {kind}",
+            self.func, self.site, self.sys, self.thread, self.key
+        )
+    }
+}
+
+/// One line of the alignment trace (reproduces paper Figures 3 and 5).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Which execution acted.
+    pub role: Role,
+    /// The thread.
+    pub thread: ThreadKey,
+    /// Progress key.
+    pub key: ProgressKey,
+    /// Syscall (None for barriers).
+    pub sys: Option<Syscall>,
+    /// What happened.
+    pub action: TraceAction,
+}
+
+/// Master or slave.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// The original execution.
+    Master,
+    /// The perturbed execution.
+    Slave,
+}
+
+impl fmt::Display for Role {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Role::Master => write!(f, "M"),
+            Role::Slave => write!(f, "S"),
+        }
+    }
+}
+
+/// What a trace event records.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceAction {
+    /// Master executed and recorded the outcome.
+    Executed,
+    /// Slave copied the master's aligned outcome.
+    Copied,
+    /// Slave executed decoupled (no alignment).
+    Decoupled,
+    /// Slave copied an aligned *source* outcome and mutated it.
+    Mutated,
+    /// Sink compared equal.
+    SinkMatch,
+    /// Sink difference (causality).
+    SinkDiff,
+    /// Loop-backedge barrier crossed.
+    Barrier,
+}
+
+impl fmt::Display for TraceAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TraceAction::Executed => "exec",
+            TraceAction::Copied => "copy",
+            TraceAction::Decoupled => "decoupled",
+            TraceAction::Mutated => "copy+mutate",
+            TraceAction::SinkMatch => "sink=",
+            TraceAction::SinkDiff => "sink!",
+            TraceAction::Barrier => "barrier",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// The result of one dual execution.
+#[derive(Debug, Clone)]
+pub struct DualReport {
+    /// All detected causality records.
+    pub causality: Vec<CausalityRecord>,
+    /// Master's run outcome.
+    pub master: Result<RunOutcome, Trap>,
+    /// Slave's run outcome.
+    pub slave: Result<RunOutcome, Trap>,
+    /// Syscall differences observed before/around sinks (paper Table 2):
+    /// master-only entries plus slave decoupled executions, sinks excluded.
+    pub syscall_diffs: u64,
+    /// Outcomes shared master → slave.
+    pub shared: u64,
+    /// Slave syscalls executed decoupled.
+    pub decoupled: u64,
+    /// Total sink *instances* the master encountered.
+    pub master_sinks: u64,
+    /// The alignment trace, when requested.
+    pub trace: Vec<TraceEvent>,
+}
+
+impl DualReport {
+    /// Whether any causality (leak / attack evidence) was detected.
+    pub fn leaked(&self) -> bool {
+        !self.causality.is_empty()
+    }
+
+    /// Number of *dynamic* sink instances with causality.
+    pub fn tainted_sinks(&self) -> usize {
+        self.causality
+            .iter()
+            .filter(|c| !matches!(c.kind, CausalityKind::EndDiff { .. }))
+            .count()
+    }
+
+    /// Distinct static sink sites with causality.
+    pub fn tainted_sites(&self) -> usize {
+        self.causality
+            .iter()
+            .filter(|c| !matches!(c.kind, CausalityKind::EndDiff { .. }))
+            .map(|c| (c.func, c.site))
+            .collect::<BTreeSet<_>>()
+            .len()
+    }
+
+    /// Renders the trace like the paper's figures.
+    pub fn trace_lines(&self) -> Vec<String> {
+        self.trace
+            .iter()
+            .map(|e| {
+                let sys = e
+                    .sys
+                    .map(|s| s.to_string())
+                    .unwrap_or_else(|| "-".to_string());
+                format!("{} {} cnt={} {} {}", e.role, e.thread, e.key, sys, e.action)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(kind: CausalityKind, site: u32) -> CausalityRecord {
+        CausalityRecord {
+            kind,
+            thread: ThreadKey::root(),
+            key: ProgressKey::start(),
+            func: FuncId(0),
+            site: SiteId(site),
+            sys: Syscall::Send,
+        }
+    }
+
+    fn empty_report() -> DualReport {
+        DualReport {
+            causality: vec![],
+            master: Err(Trap::DivisionByZero),
+            slave: Err(Trap::DivisionByZero),
+            syscall_diffs: 0,
+            shared: 0,
+            decoupled: 0,
+            master_sinks: 0,
+            trace: vec![],
+        }
+    }
+
+    #[test]
+    fn tainted_counts() {
+        let mut r = empty_report();
+        assert!(!r.leaked());
+        r.causality.push(record(CausalityKind::MasterOnlySink, 1));
+        r.causality.push(record(
+            CausalityKind::ArgDiff {
+                master: "a".into(),
+                slave: "b".into(),
+            },
+            1,
+        ));
+        r.causality.push(record(CausalityKind::SlaveOnlySink, 2));
+        r.causality.push(record(
+            CausalityKind::EndDiff {
+                master: "ok".into(),
+                slave: "trap".into(),
+            },
+            0,
+        ));
+        assert!(r.leaked());
+        assert_eq!(r.tainted_sinks(), 3, "EndDiff not a sink instance");
+        assert_eq!(r.tainted_sites(), 2);
+    }
+
+    #[test]
+    fn displays_are_informative() {
+        let c = record(
+            CausalityKind::ArgDiff {
+                master: "x".into(),
+                slave: "y".into(),
+            },
+            3,
+        );
+        let text = c.to_string();
+        assert!(text.contains("send"));
+        assert!(text.contains("argument difference"));
+    }
+
+    #[test]
+    fn trace_lines_render() {
+        let mut r = empty_report();
+        r.trace.push(TraceEvent {
+            role: Role::Slave,
+            thread: ThreadKey::root(),
+            key: ProgressKey::start(),
+            sys: Some(Syscall::Read),
+            action: TraceAction::Copied,
+        });
+        let lines = r.trace_lines();
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].starts_with("S t0"));
+        assert!(lines[0].contains("read"));
+        assert!(lines[0].contains("copy"));
+    }
+}

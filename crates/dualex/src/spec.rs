@@ -1,0 +1,197 @@
+//! Analysis specification: sources, sinks, and engine options.
+
+use crate::mutation::Mutation;
+use ldx_lang::Syscall;
+use ldx_runtime::ExecConfig;
+
+/// Which syscall outcomes are *sources* (mutated in the slave).
+///
+/// Matching happens in the slave's syscall wrapper; descriptor-based
+/// matchers (`FileRead`, `NetRecv`, `ClientRecv`) use the engine's fd →
+/// resource tracking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SourceMatcher {
+    /// `read` results from the file at this path.
+    FileRead(String),
+    /// `recv` results from this peer host.
+    NetRecv(String),
+    /// `recv` results from clients accepted on this port.
+    ClientRecv(i64),
+    /// Every outcome of one syscall kind (e.g. all `random()`).
+    SyscallKind(Syscall),
+    /// A specific static call site, `(function name, site index)`.
+    Site(String, u32),
+}
+
+/// One source: a matcher plus the mutation applied to matched outcomes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceSpec {
+    /// What to match.
+    pub matcher: SourceMatcher,
+    /// How to perturb it.
+    pub mutation: Mutation,
+}
+
+impl SourceSpec {
+    /// Convenience constructor: off-by-one mutation of a file's reads.
+    pub fn file(path: impl Into<String>) -> Self {
+        SourceSpec {
+            matcher: SourceMatcher::FileRead(path.into()),
+            mutation: Mutation::OffByOne,
+        }
+    }
+
+    /// Convenience constructor: off-by-one mutation of a peer's data.
+    pub fn net(host: impl Into<String>) -> Self {
+        SourceSpec {
+            matcher: SourceMatcher::NetRecv(host.into()),
+            mutation: Mutation::OffByOne,
+        }
+    }
+
+    /// Convenience constructor: off-by-one mutation of client requests.
+    pub fn client(port: i64) -> Self {
+        SourceSpec {
+            matcher: SourceMatcher::ClientRecv(port),
+            mutation: Mutation::OffByOne,
+        }
+    }
+
+    /// Replaces the mutation (builder style).
+    pub fn with_mutation(mut self, mutation: Mutation) -> Self {
+        self.mutation = mutation;
+        self
+    }
+}
+
+/// Which syscalls are *sinks* (compared across the executions).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SinkSpec {
+    /// All output syscalls (`write` + `send`) — the paper's default.
+    Outputs,
+    /// Network output only (`send`), as the paper uses for programs with
+    /// network connections.
+    NetworkOut,
+    /// Local file output only (`write` to fd >= 3, i.e. not stdio).
+    FileOut,
+    /// `write`s to stdio too (useful for small examples).
+    AllWrites,
+    /// Specific static call sites, `(function name, site index)` — how the
+    /// vulnerable-program suite marks its critical execution points
+    /// (return addresses, allocation sizes).
+    Sites(Vec<(String, u32)>),
+}
+
+impl SinkSpec {
+    /// Whether a syscall kind can ever be a sink under this spec (site
+    /// matching is done by the engine, which knows the site).
+    pub fn matches_kind(&self, sys: Syscall) -> bool {
+        match self {
+            SinkSpec::Outputs | SinkSpec::AllWrites => sys.is_output(),
+            SinkSpec::NetworkOut => sys == Syscall::Send,
+            SinkSpec::FileOut => sys == Syscall::Write,
+            SinkSpec::Sites(_) => true,
+        }
+    }
+}
+
+/// The full dual-execution specification.
+#[derive(Debug, Clone)]
+pub struct DualSpec {
+    /// Sources to mutate in the slave.
+    pub sources: Vec<SourceSpec>,
+    /// Sinks to compare.
+    pub sinks: SinkSpec,
+    /// Record a per-syscall alignment trace (paper Figures 3 and 5).
+    pub trace: bool,
+    /// Enforcement mode: the master blocks at sinks and loop barriers
+    /// until the slave catches up, like the paper's original protocol
+    /// (Alg. 2 lines 2–6). Detection results are identical; this recovers
+    /// the paper's timing behavior (and lets output be *blocked* before it
+    /// escapes, at lockstep cost).
+    pub enforcement: bool,
+    /// Interpreter limits for both executions.
+    pub exec: ExecConfig,
+}
+
+impl Default for DualSpec {
+    fn default() -> Self {
+        DualSpec {
+            sources: Vec::new(),
+            sinks: SinkSpec::Outputs,
+            trace: false,
+            enforcement: false,
+            exec: ExecConfig::default(),
+        }
+    }
+}
+
+impl DualSpec {
+    /// A spec with one source and default (output) sinks.
+    pub fn with_source(source: SourceSpec) -> Self {
+        DualSpec {
+            sources: vec![source],
+            ..DualSpec::default()
+        }
+    }
+
+    /// Adds a source (builder style).
+    pub fn source(mut self, source: SourceSpec) -> Self {
+        self.sources.push(source);
+        self
+    }
+
+    /// Sets the sink spec (builder style).
+    pub fn sinks(mut self, sinks: SinkSpec) -> Self {
+        self.sinks = sinks;
+        self
+    }
+
+    /// Enables trace recording (builder style).
+    pub fn traced(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+
+    /// Enables enforcement mode (builder style).
+    pub fn enforcing(mut self) -> Self {
+        self.enforcement = true;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sink_kind_matching() {
+        assert!(SinkSpec::Outputs.matches_kind(Syscall::Write));
+        assert!(SinkSpec::Outputs.matches_kind(Syscall::Send));
+        assert!(!SinkSpec::Outputs.matches_kind(Syscall::Read));
+        assert!(SinkSpec::NetworkOut.matches_kind(Syscall::Send));
+        assert!(!SinkSpec::NetworkOut.matches_kind(Syscall::Write));
+        assert!(SinkSpec::FileOut.matches_kind(Syscall::Write));
+        assert!(SinkSpec::Sites(vec![]).matches_kind(Syscall::Close));
+    }
+
+    #[test]
+    fn builders_compose() {
+        let spec = DualSpec::with_source(SourceSpec::file("/secret"))
+            .source(SourceSpec::net("upstream").with_mutation(Mutation::Zero))
+            .sinks(SinkSpec::NetworkOut)
+            .traced();
+        assert_eq!(spec.sources.len(), 2);
+        assert_eq!(spec.sources[1].mutation, Mutation::Zero);
+        assert_eq!(spec.sinks, SinkSpec::NetworkOut);
+        assert!(spec.trace);
+    }
+
+    #[test]
+    fn default_spec_has_output_sinks() {
+        let spec = DualSpec::default();
+        assert!(spec.sources.is_empty());
+        assert_eq!(spec.sinks, SinkSpec::Outputs);
+        assert!(!spec.trace);
+    }
+}

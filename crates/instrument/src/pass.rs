@@ -1,0 +1,438 @@
+//! The rewriting pass: applies the counter analysis to the IR.
+
+use crate::analysis::{classify_edges, CounterAnalysis, EdgeKind};
+use crate::report::{FuncReport, InstrumentationReport};
+use ldx_ir::{BasicBlock, BlockId, FuncBody, FuncId, Instr, IrProgram, LoopId, Terminator};
+
+/// An instrumented program plus the metadata later stages need.
+#[derive(Debug, Clone)]
+pub struct InstrumentedProgram {
+    program: IrProgram,
+    fcnt: Vec<u64>,
+    report: InstrumentationReport,
+}
+
+impl InstrumentedProgram {
+    /// The rewritten program, ready for the `ldx-runtime` interpreter.
+    pub fn program(&self) -> &IrProgram {
+        &self.program
+    }
+
+    /// `FCNT` (total counter increment) of function `f`.
+    pub fn fcnt(&self, f: FuncId) -> u64 {
+        self.fcnt[f.index()]
+    }
+
+    /// The static instrumentation report (paper Table 1 columns).
+    pub fn report(&self) -> &InstrumentationReport {
+        &self.report
+    }
+
+    /// Consumes `self`, returning the rewritten program.
+    pub fn into_program(self) -> IrProgram {
+        self.program
+    }
+
+    /// Replaces the program body. Only for tests that need to check the
+    /// verifier against deliberately broken instrumentation.
+    #[doc(hidden)]
+    pub fn set_program_for_tests(&mut self, program: IrProgram) {
+        self.program = program;
+    }
+}
+
+/// Instruments `program` with the LDX progress counter.
+///
+/// This is paper Algorithm 1 (`INSTRUMENTPROG`): functions are analyzed in
+/// reverse topological call-graph order, then each function's CFG edges
+/// receive compensation, loop, and return instrumentation.
+pub fn instrument(program: &IrProgram) -> InstrumentedProgram {
+    let analysis = CounterAnalysis::compute(program);
+    let mut out = program.clone();
+    let mut reports = Vec::with_capacity(out.functions.len());
+
+    for (fid, func) in out.functions.iter_mut().enumerate() {
+        let fid = FuncId(fid as u32);
+        let counters = analysis.func(fid);
+        let original_instrs = func.instr_count();
+
+        // Count static features for the report before rewriting.
+        let mut recursive_call_sites = 0usize;
+        let mut indirect_call_sites = 0usize;
+        let mut syscall_sites = 0usize;
+        let mut output_syscall_sites = 0usize;
+        for block in &mut func.blocks {
+            for instr in &mut block.instrs {
+                match instr {
+                    Instr::Call {
+                        func: callee,
+                        fresh_frame,
+                        ..
+                    } if analysis.callgraph.is_recursive_call(fid, *callee) => {
+                        *fresh_frame = true;
+                        recursive_call_sites += 1;
+                    }
+                    Instr::Call { .. } => {}
+                    Instr::CallIndirect { .. } => indirect_call_sites += 1,
+                    Instr::Syscall { sys, .. } => {
+                        syscall_sites += 1;
+                        if sys.is_output() {
+                            output_syscall_sites += 1;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        // Return compensation: raise every return path to FCNT.
+        for b in 0..func.blocks.len() {
+            if matches!(func.blocks[b].term, Terminator::Return(_)) {
+                let delta = counters.fcnt - counters.out_cnt[b];
+                if delta > 0 {
+                    func.blocks[b].instrs.push(Instr::CntAdd { delta });
+                }
+            }
+        }
+
+        // Map forest loop indices to dense LoopIds.
+        let loop_id = |forest_index: usize| -> LoopId {
+            let rank = counters
+                .instrumented_loops
+                .iter()
+                .position(|&i| i == forest_index)
+                .expect("only instrumented loops receive ids");
+            LoopId(rank as u32)
+        };
+
+        // Edge instrumentation. Classify on the pre-split CFG, then apply.
+        let edges = classify_edges(func, counters);
+        let mut planned: Vec<((BlockId, BlockId), Vec<Instr>)> = Vec::new();
+        let mut keys: Vec<(BlockId, BlockId)> = edges.keys().copied().collect();
+        keys.sort();
+        for key in keys {
+            let kind = &edges[&key];
+            let instrs = match kind {
+                EdgeKind::Plain { delta, enters } => {
+                    let mut v = Vec::new();
+                    if *delta > 0 {
+                        v.push(Instr::CntAdd { delta: *delta });
+                    }
+                    for &i in enters {
+                        v.push(Instr::LoopEnter {
+                            loop_id: loop_id(i),
+                        });
+                    }
+                    v
+                }
+                EdgeKind::Backedge { lp, sub } => vec![Instr::LoopBackedge {
+                    loop_id: loop_id(*lp),
+                    sub: *sub,
+                }],
+                EdgeKind::Exit { exits, add } => {
+                    let mut v = Vec::new();
+                    for (pos, &i) in exits.iter().enumerate() {
+                        let last = pos + 1 == exits.len();
+                        v.push(Instr::LoopExit {
+                            loop_id: loop_id(i),
+                            add: if last { *add } else { 0 },
+                        });
+                    }
+                    v
+                }
+            };
+            if !instrs.is_empty() {
+                planned.push((key, instrs));
+            }
+        }
+
+        let compensation_instrs = planned
+            .iter()
+            .flat_map(|(_, v)| v.iter())
+            .filter(|i| matches!(i, Instr::CntAdd { .. }))
+            .count()
+            + func
+                .blocks
+                .iter()
+                .flat_map(|b| b.instrs.iter())
+                .filter(|i| matches!(i, Instr::CntAdd { .. }))
+                .count();
+
+        for ((p, n), instrs) in planned {
+            split_edge(func, p, n, instrs);
+        }
+
+        func.loop_count = counters.instrumented_loops.len() as u32;
+
+        let added_instrs = func.instr_count() - original_instrs;
+        reports.push(FuncReport {
+            name: func.name.clone(),
+            original_instrs,
+            added_instrs,
+            compensation_instrs,
+            instrumented_loops: counters.instrumented_loops.len(),
+            recursive_call_sites,
+            indirect_call_sites,
+            syscall_sites,
+            output_syscall_sites,
+            fcnt: counters.fcnt,
+        });
+    }
+
+    let max_cnt = analysis.max_cnt(program);
+    let fcnt = (0..out.functions.len())
+        .map(|i| analysis.fcnt(FuncId(i as u32)))
+        .collect();
+    InstrumentedProgram {
+        program: out,
+        fcnt,
+        report: InstrumentationReport::new(reports, max_cnt),
+    }
+}
+
+/// Splits edge `p -> n`, placing `instrs` on a new block along it.
+fn split_edge(func: &mut FuncBody, p: BlockId, n: BlockId, instrs: Vec<Instr>) {
+    let mid = func.push_block(BasicBlock {
+        instrs,
+        term: Terminator::Jump(n),
+    });
+    func.block_mut(p).term.retarget(n, mid);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldx_ir::lower;
+    use ldx_lang::compile;
+
+    fn build(src: &str) -> InstrumentedProgram {
+        instrument(&lower(&compile(src).unwrap()))
+    }
+
+    fn count_instr(func: &FuncBody, pred: impl Fn(&Instr) -> bool) -> usize {
+        func.instrs().filter(|(_, i)| pred(i)).count()
+    }
+
+    #[test]
+    fn no_instrumentation_without_branching_syscall_difference() {
+        let ip = build("fn main() { let fd = open(\"f\", 0); close(fd); }");
+        let f = ip.program().func(ip.program().main());
+        assert_eq!(count_instr(f, Instr::is_instrumentation), 0);
+        assert_eq!(ip.fcnt(ip.program().main()), 2);
+    }
+
+    #[test]
+    fn branch_with_uneven_syscalls_gets_compensation() {
+        let ip = build(
+            r#"fn main() {
+                if (getpid() > 0) {
+                    write(1, "a");
+                    write(1, "b");
+                }
+                close(1);
+            }"#,
+        );
+        let f = ip.program().func(ip.program().main());
+        let adds: Vec<u64> = f
+            .instrs()
+            .filter_map(|(_, i)| match i {
+                Instr::CntAdd { delta } => Some(*delta),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(adds, vec![2], "else edge compensated by the arm max");
+    }
+
+    #[test]
+    fn loop_gets_enter_backedge_exit() {
+        let ip = build(
+            r#"fn main() {
+                let i = 0;
+                while (i < 3) {
+                    write(1, str(i));
+                    i = i + 1;
+                }
+            }"#,
+        );
+        let f = ip.program().func(ip.program().main());
+        assert_eq!(count_instr(f, |i| matches!(i, Instr::LoopEnter { .. })), 1);
+        assert_eq!(
+            count_instr(f, |i| matches!(i, Instr::LoopBackedge { .. })),
+            1
+        );
+        assert_eq!(count_instr(f, |i| matches!(i, Instr::LoopExit { .. })), 1);
+        assert_eq!(f.loop_count, 1);
+    }
+
+    #[test]
+    fn loop_backedge_resets_by_in_loop_increment() {
+        let ip = build(
+            r#"fn main() {
+                let i = 0;
+                while (i < 3) {
+                    write(1, "x");
+                    write(1, "y");
+                    i = i + 1;
+                }
+            }"#,
+        );
+        let f = ip.program().func(ip.program().main());
+        let sub = f
+            .instrs()
+            .find_map(|(_, i)| match i {
+                Instr::LoopBackedge { sub, .. } => Some(*sub),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(sub, 2);
+        let add = f
+            .instrs()
+            .find_map(|(_, i)| match i {
+                Instr::LoopExit { add, .. } => Some(*add),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(add, 3, "exit raises strictly past in-loop max");
+    }
+
+    #[test]
+    fn recursive_calls_marked_fresh() {
+        let ip = build(
+            r#"
+            fn fact(n) { write(1, "."); if (n <= 1) { return 1; } return n * fact(n - 1); }
+            fn main() { fact(3); }
+            "#,
+        );
+        let fid = ip.program().func_id("fact").unwrap();
+        let f = ip.program().func(fid);
+        let fresh = f
+            .instrs()
+            .filter_map(|(_, i)| match i {
+                Instr::Call { fresh_frame, .. } => Some(*fresh_frame),
+                _ => None,
+            })
+            .collect::<Vec<_>>();
+        assert_eq!(fresh, vec![true]);
+        // main's call to fact is not recursive.
+        let mainf = ip.program().func(ip.program().main());
+        let fresh_main = mainf
+            .instrs()
+            .filter_map(|(_, i)| match i {
+                Instr::Call { fresh_frame, .. } => Some(*fresh_frame),
+                _ => None,
+            })
+            .collect::<Vec<_>>();
+        assert_eq!(fresh_main, vec![false]);
+        assert_eq!(ip.report().functions[0].recursive_call_sites, 1);
+    }
+
+    #[test]
+    fn return_paths_compensated_to_fcnt() {
+        // One return after 1 syscall, another after 3.
+        let ip = build(
+            r#"
+            fn f(x) {
+                if (x) {
+                    write(1, "a");
+                    return 1;
+                }
+                write(1, "b");
+                write(1, "c");
+                write(1, "d");
+                return 2;
+            }
+            fn main() { f(1); }
+            "#,
+        );
+        let fid = ip.program().func_id("f").unwrap();
+        assert_eq!(ip.fcnt(fid), 3);
+        let f = ip.program().func(fid);
+        // The early-return block must contain cnt += 2.
+        let adds: Vec<u64> = f
+            .instrs()
+            .filter_map(|(_, i)| match i {
+                Instr::CntAdd { delta } => Some(*delta),
+                _ => None,
+            })
+            .collect();
+        assert!(adds.contains(&2), "early return compensated: {adds:?}");
+    }
+
+    #[test]
+    fn report_totals_are_consistent() {
+        let ip = build(
+            r#"
+            fn helper(x) { write(1, str(x)); return x; }
+            fn main() {
+                let fd = open("f", 0);
+                for (let i = 0; i < 4; i = i + 1) { helper(i); }
+                if (getpid() > 2) { send(connect("h"), "data"); }
+                close(fd);
+            }
+            "#,
+        );
+        let r = ip.report();
+        assert_eq!(r.functions.len(), 2);
+        let total_added: usize = r.functions.iter().map(|f| f.added_instrs).sum();
+        assert!(total_added > 0);
+        assert!(r.instrumented_fraction() > 0.0 && r.instrumented_fraction() < 1.0);
+        assert!(r.max_cnt >= 4);
+        let sinks: usize = r.functions.iter().map(|f| f.output_syscall_sites).sum();
+        assert_eq!(sinks, 2); // write in helper + send in main
+    }
+
+    #[test]
+    fn figure2_employee_example_counters() {
+        // The worked example of paper Fig. 2/3: checks the FCNT values the
+        // paper derives (SRaise: 2, MRaise: 3, main total: 7).
+        let ip = build(
+            r#"
+            fn sraise(salary) {
+                let fd = open("contract", 0);
+                let rate = int(read(fd, 4));
+                return salary * rate / 100;
+            }
+            fn mraise(salary) {
+                let r = sraise(salary);
+                if (salary > 1000) {
+                    write(2, "senior manager");
+                }
+                return r + 10;
+            }
+            fn main() {
+                let fd = open("employee", 0);
+                let rec = read(fd, 64);
+                let title = substr(rec, 0, 7);
+                let salary = int(substr(rec, 8, 6));
+                let raise = 0;
+                if (title == "STAFF") {
+                    raise = sraise(salary);
+                } else {
+                    raise = mraise(salary);
+                    let dept = read(fd, 8);
+                }
+                send(connect("hr.example"), str(raise));
+            }
+            "#,
+        );
+        let p = ip.program();
+        assert_eq!(ip.fcnt(p.func_id("sraise").unwrap()), 2);
+        assert_eq!(ip.fcnt(p.func_id("mraise").unwrap()), 3);
+        // open + read + max(2, 3+1) + connect + send = 8.
+        assert_eq!(ip.fcnt(p.main()), 8);
+        // The STAFF arm (2 syscalls) must be compensated by +2 relative to
+        // the MANAGER arm (4 syscalls).
+        let f = p.func(p.main());
+        let adds: Vec<u64> = f
+            .instrs()
+            .filter_map(|(_, i)| match i {
+                Instr::CntAdd { delta } => Some(*delta),
+                _ => None,
+            })
+            .collect();
+        assert!(
+            adds.contains(&2),
+            "compensation on the STAFF edge: {adds:?}"
+        );
+    }
+}

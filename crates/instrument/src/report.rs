@@ -1,0 +1,189 @@
+//! Static instrumentation statistics (the columns of paper Table 1).
+
+use std::fmt;
+
+/// Per-function instrumentation statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuncReport {
+    /// The function's name.
+    pub name: String,
+    /// Instruction count before instrumentation.
+    pub original_instrs: usize,
+    /// Instructions added by the pass (compensations + loop markers).
+    pub added_instrs: usize,
+    /// Number of `cnt += k` compensation instructions added.
+    pub compensation_instrs: usize,
+    /// Number of loops that received barrier/reset/exit instrumentation.
+    pub instrumented_loops: usize,
+    /// Recursive (fresh-frame) direct call sites.
+    pub recursive_call_sites: usize,
+    /// Indirect call sites (always fresh-frame).
+    pub indirect_call_sites: usize,
+    /// Syscall sites in the function.
+    pub syscall_sites: usize,
+    /// Output syscall sites (`write`/`send`) — the default sink set.
+    pub output_syscall_sites: usize,
+    /// The function's total static counter increment.
+    pub fcnt: u64,
+}
+
+/// Whole-program instrumentation statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InstrumentationReport {
+    /// Per-function rows.
+    pub functions: Vec<FuncReport>,
+    /// The maximum static counter value along any program path (paper
+    /// Table 1 "Max. Cnt.": `FCNT` of `main`).
+    pub max_cnt: u64,
+}
+
+impl InstrumentationReport {
+    /// Assembles a report.
+    pub fn new(functions: Vec<FuncReport>, max_cnt: u64) -> Self {
+        InstrumentationReport { functions, max_cnt }
+    }
+
+    /// Total instructions before instrumentation.
+    pub fn total_original_instrs(&self) -> usize {
+        self.functions.iter().map(|f| f.original_instrs).sum()
+    }
+
+    /// Total instructions added by the pass.
+    pub fn total_added_instrs(&self) -> usize {
+        self.functions.iter().map(|f| f.added_instrs).sum()
+    }
+
+    /// Fraction of the instrumented program that is instrumentation
+    /// (the paper reports 3.44% on average for its suite).
+    pub fn instrumented_fraction(&self) -> f64 {
+        let orig = self.total_original_instrs();
+        let added = self.total_added_instrs();
+        if orig + added == 0 {
+            0.0
+        } else {
+            added as f64 / (orig + added) as f64
+        }
+    }
+
+    /// Total instrumented loops.
+    pub fn total_loops(&self) -> usize {
+        self.functions.iter().map(|f| f.instrumented_loops).sum()
+    }
+
+    /// Total recursive call sites.
+    pub fn total_recursive_sites(&self) -> usize {
+        self.functions.iter().map(|f| f.recursive_call_sites).sum()
+    }
+
+    /// Total indirect call sites.
+    pub fn total_indirect_sites(&self) -> usize {
+        self.functions.iter().map(|f| f.indirect_call_sites).sum()
+    }
+
+    /// Total syscall sites.
+    pub fn total_syscall_sites(&self) -> usize {
+        self.functions.iter().map(|f| f.syscall_sites).sum()
+    }
+
+    /// Total default sinks (output syscall sites).
+    pub fn total_sinks(&self) -> usize {
+        self.functions.iter().map(|f| f.output_syscall_sites).sum()
+    }
+}
+
+impl fmt::Display for InstrumentationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<16} {:>7} {:>7} {:>6} {:>6} {:>6} {:>6} {:>8}",
+            "function", "instrs", "added", "loops", "recur", "fptr", "sys", "fcnt"
+        )?;
+        for fr in &self.functions {
+            writeln!(
+                f,
+                "{:<16} {:>7} {:>7} {:>6} {:>6} {:>6} {:>6} {:>8}",
+                fr.name,
+                fr.original_instrs,
+                fr.added_instrs,
+                fr.instrumented_loops,
+                fr.recursive_call_sites,
+                fr.indirect_call_sites,
+                fr.syscall_sites,
+                fr.fcnt
+            )?;
+        }
+        writeln!(
+            f,
+            "total: {} instrs, {} added ({:.2}%), {} loops, max cnt {}",
+            self.total_original_instrs(),
+            self.total_added_instrs(),
+            self.instrumented_fraction() * 100.0,
+            self.total_loops(),
+            self.max_cnt
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> InstrumentationReport {
+        InstrumentationReport::new(
+            vec![
+                FuncReport {
+                    name: "main".into(),
+                    original_instrs: 90,
+                    added_instrs: 10,
+                    compensation_instrs: 4,
+                    instrumented_loops: 2,
+                    recursive_call_sites: 1,
+                    indirect_call_sites: 3,
+                    syscall_sites: 7,
+                    output_syscall_sites: 2,
+                    fcnt: 9,
+                },
+                FuncReport {
+                    name: "helper".into(),
+                    original_instrs: 10,
+                    added_instrs: 0,
+                    compensation_instrs: 0,
+                    instrumented_loops: 0,
+                    recursive_call_sites: 0,
+                    indirect_call_sites: 0,
+                    syscall_sites: 1,
+                    output_syscall_sites: 1,
+                    fcnt: 1,
+                },
+            ],
+            9,
+        )
+    }
+
+    #[test]
+    fn totals() {
+        let r = sample();
+        assert_eq!(r.total_original_instrs(), 100);
+        assert_eq!(r.total_added_instrs(), 10);
+        assert!((r.instrumented_fraction() - 10.0 / 110.0).abs() < 1e-12);
+        assert_eq!(r.total_loops(), 2);
+        assert_eq!(r.total_recursive_sites(), 1);
+        assert_eq!(r.total_indirect_sites(), 3);
+        assert_eq!(r.total_syscall_sites(), 8);
+        assert_eq!(r.total_sinks(), 3);
+    }
+
+    #[test]
+    fn display_renders_rows() {
+        let text = sample().to_string();
+        assert!(text.contains("main"));
+        assert!(text.contains("helper"));
+        assert!(text.contains("max cnt 9"));
+    }
+
+    #[test]
+    fn empty_report_fraction_is_zero() {
+        let r = InstrumentationReport::new(vec![], 0);
+        assert_eq!(r.instrumented_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,274 @@
+//! Call graph construction and strongly connected components.
+//!
+//! Paper Algorithm 1 instruments functions "in the reverse topological
+//! order of the call graph" so that every callee's total counter increment
+//! (`FCNT`) is known before its callers are processed. Recursion makes
+//! that order undefined, so LDX gives recursive calls a fresh counter
+//! frame (like indirect calls, §5–6); we identify recursion as call-graph
+//! cycles via Tarjan's SCC algorithm.
+
+use crate::instr::Instr;
+use crate::program::{FuncId, IrProgram};
+use std::collections::BTreeSet;
+
+/// The direct-call graph of a program.
+#[derive(Debug, Clone)]
+pub struct CallGraph {
+    /// `callees[f]`: the set of functions `f` calls directly.
+    callees: Vec<BTreeSet<FuncId>>,
+    /// SCC index per function; SCCs are numbered in *reverse topological*
+    /// order (callees before callers), which is exactly the processing
+    /// order Algorithm 1 needs.
+    scc_of: Vec<usize>,
+    /// Members of each SCC.
+    scc_members: Vec<Vec<FuncId>>,
+}
+
+impl CallGraph {
+    /// Builds the call graph of `program` (direct calls only; indirect
+    /// calls do not contribute edges because their counter effect is
+    /// handled dynamically via fresh frames).
+    pub fn compute(program: &IrProgram) -> Self {
+        let n = program.functions.len();
+        let mut callees = vec![BTreeSet::new(); n];
+        for (id, func) in program.iter_funcs() {
+            for (_, instr) in func.instrs() {
+                if let Instr::Call { func: callee, .. } = instr {
+                    callees[id.index()].insert(*callee);
+                }
+            }
+        }
+        let (scc_of, scc_members) = tarjan(n, &callees);
+        CallGraph {
+            callees,
+            scc_of,
+            scc_members,
+        }
+    }
+
+    /// Direct callees of `f`.
+    pub fn callees(&self, f: FuncId) -> &BTreeSet<FuncId> {
+        &self.callees[f.index()]
+    }
+
+    /// The functions of each SCC, in reverse topological order of the
+    /// condensation (every SCC appears after all SCCs it calls into).
+    pub fn sccs_reverse_topological(&self) -> &[Vec<FuncId>] {
+        &self.scc_members
+    }
+
+    /// Whether `f` participates in recursion (its SCC has more than one
+    /// member, or it calls itself directly).
+    pub fn is_recursive(&self, f: FuncId) -> bool {
+        self.scc_members[self.scc_of[f.index()]].len() > 1 || self.callees[f.index()].contains(&f)
+    }
+
+    /// Whether a direct call from `caller` to `callee` is a *recursive*
+    /// call (stays within one SCC). Such calls get fresh counter frames.
+    pub fn is_recursive_call(&self, caller: FuncId, callee: FuncId) -> bool {
+        self.scc_of[caller.index()] == self.scc_of[callee.index()]
+            && (caller != callee || self.callees[caller.index()].contains(&caller))
+    }
+
+    /// Functions in an order where callees precede callers whenever they
+    /// are in different SCCs (flattened reverse-topological SCC order).
+    pub fn reverse_topological_functions(&self) -> Vec<FuncId> {
+        self.scc_members.iter().flatten().copied().collect()
+    }
+}
+
+/// Iterative Tarjan SCC; returns `(scc_of, members)` with SCCs numbered in
+/// reverse topological order.
+fn tarjan(n: usize, adj: &[BTreeSet<FuncId>]) -> (Vec<usize>, Vec<Vec<FuncId>>) {
+    const UNSET: usize = usize::MAX;
+    let mut index = vec![UNSET; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut scc_of = vec![UNSET; n];
+    let mut members: Vec<Vec<FuncId>> = Vec::new();
+
+    // Explicit DFS stack: (node, iterator position, parent-entry marker).
+    for start in 0..n {
+        if index[start] != UNSET {
+            continue;
+        }
+        let mut call_stack: Vec<(usize, Vec<usize>, usize)> = Vec::new();
+        let succs: Vec<usize> = adj[start].iter().map(|f| f.index()).collect();
+        index[start] = next_index;
+        lowlink[start] = next_index;
+        next_index += 1;
+        stack.push(start);
+        on_stack[start] = true;
+        call_stack.push((start, succs, 0));
+
+        while let Some((v, succs, i)) = call_stack.last_mut() {
+            if *i < succs.len() {
+                let w = succs[*i];
+                *i += 1;
+                if index[w] == UNSET {
+                    index[w] = next_index;
+                    lowlink[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    let wsuccs: Vec<usize> = adj[w].iter().map(|f| f.index()).collect();
+                    call_stack.push((w, wsuccs, 0));
+                } else if on_stack[w] {
+                    let v = *v;
+                    lowlink[v] = lowlink[v].min(index[w]);
+                }
+            } else {
+                let v = *v;
+                call_stack.pop();
+                if let Some((parent, _, _)) = call_stack.last() {
+                    let p = *parent;
+                    lowlink[p] = lowlink[p].min(lowlink[v]);
+                }
+                if lowlink[v] == index[v] {
+                    // Root of an SCC: pop members. Tarjan emits SCCs in
+                    // reverse topological order already.
+                    let scc_id = members.len();
+                    let mut group = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w] = false;
+                        scc_of[w] = scc_id;
+                        group.push(FuncId(w as u32));
+                        if w == v {
+                            break;
+                        }
+                    }
+                    group.reverse();
+                    members.push(group);
+                }
+            }
+        }
+    }
+    (scc_of, members)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower;
+    use ldx_lang::compile;
+
+    fn graph(src: &str) -> (IrProgram, CallGraph) {
+        let p = lower(&compile(src).unwrap());
+        let g = CallGraph::compute(&p);
+        (p, g)
+    }
+
+    #[test]
+    fn simple_chain_orders_callees_first() {
+        let (p, g) = graph(
+            r#"
+            fn c() { return 1; }
+            fn b() { return c(); }
+            fn a() { return b(); }
+            fn main() { a(); }
+            "#,
+        );
+        let order = g.reverse_topological_functions();
+        let pos = |name: &str| {
+            let id = p.func_id(name).unwrap();
+            order.iter().position(|&f| f == id).unwrap()
+        };
+        assert!(pos("c") < pos("b"));
+        assert!(pos("b") < pos("a"));
+        assert!(pos("a") < pos("main"));
+    }
+
+    #[test]
+    fn no_function_is_recursive_without_cycles() {
+        let (p, g) = graph("fn f() { return 1; } fn main() { f(); }");
+        assert!(!g.is_recursive(p.func_id("f").unwrap()));
+        assert!(!g.is_recursive(p.main()));
+    }
+
+    #[test]
+    fn self_recursion_detected() {
+        let (p, g) = graph(
+            r#"
+            fn fact(n) { if (n <= 1) { return 1; } return n * fact(n - 1); }
+            fn main() { fact(5); }
+            "#,
+        );
+        let fact = p.func_id("fact").unwrap();
+        assert!(g.is_recursive(fact));
+        assert!(g.is_recursive_call(fact, fact));
+        assert!(!g.is_recursive_call(p.main(), fact));
+    }
+
+    #[test]
+    fn mutual_recursion_detected() {
+        let (p, g) = graph(
+            r#"
+            fn even(n) { if (n == 0) { return 1; } return odd(n - 1); }
+            fn odd(n) { if (n == 0) { return 0; } return even(n - 1); }
+            fn main() { even(4); }
+            "#,
+        );
+        let even = p.func_id("even").unwrap();
+        let odd = p.func_id("odd").unwrap();
+        assert!(g.is_recursive(even));
+        assert!(g.is_recursive(odd));
+        assert!(g.is_recursive_call(even, odd));
+        assert!(g.is_recursive_call(odd, even));
+        assert!(!g.is_recursive_call(p.main(), even));
+        // The SCC {even, odd} must precede main's SCC.
+        let sccs = g.sccs_reverse_topological();
+        let even_scc = sccs.iter().position(|s| s.contains(&even)).unwrap();
+        let main_scc = sccs.iter().position(|s| s.contains(&p.main())).unwrap();
+        assert!(even_scc < main_scc);
+        assert_eq!(sccs[even_scc].len(), 2);
+    }
+
+    #[test]
+    fn callees_recorded() {
+        let (p, g) = graph(
+            r#"
+            fn x() { return 0; }
+            fn y() { return 0; }
+            fn main() { x(); y(); x(); }
+            "#,
+        );
+        let mains = g.callees(p.main());
+        assert_eq!(mains.len(), 2);
+        assert!(mains.contains(&p.func_id("x").unwrap()));
+    }
+
+    #[test]
+    fn indirect_calls_do_not_create_edges() {
+        let (p, g) = graph(
+            r#"
+            fn t(v) { return v; }
+            fn main() { let f = &t; f(1); }
+            "#,
+        );
+        assert!(g.callees(p.main()).is_empty());
+    }
+
+    #[test]
+    fn diamond_call_graph_topological() {
+        let (p, g) = graph(
+            r#"
+            fn d() { return 1; }
+            fn b() { return d(); }
+            fn c() { return d(); }
+            fn main() { b(); c(); }
+            "#,
+        );
+        let order = g.reverse_topological_functions();
+        let pos = |name: &str| {
+            let id = p.func_id(name).unwrap();
+            order.iter().position(|&f| f == id).unwrap()
+        };
+        assert!(pos("d") < pos("b"));
+        assert!(pos("d") < pos("c"));
+        assert!(pos("b") < pos("main"));
+        assert!(pos("c") < pos("main"));
+    }
+}

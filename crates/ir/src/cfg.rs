@@ -1,0 +1,156 @@
+//! Basic CFG utilities: predecessor maps and block orderings.
+
+use crate::program::{BlockId, FuncBody};
+
+/// Computes the predecessor list of every block.
+pub fn predecessors(func: &FuncBody) -> Vec<Vec<BlockId>> {
+    let mut preds = vec![Vec::new(); func.blocks.len()];
+    for b in func.block_ids() {
+        for s in func.block(b).term.successors() {
+            preds[s.index()].push(b);
+        }
+    }
+    preds
+}
+
+/// Reverse postorder of the blocks reachable from the entry.
+///
+/// This is the canonical iteration order for forward dataflow (dominators).
+pub fn reverse_postorder(func: &FuncBody) -> Vec<BlockId> {
+    let n = func.blocks.len();
+    let mut visited = vec![false; n];
+    let mut post = Vec::with_capacity(n);
+    // Iterative DFS carrying an explicit successor index.
+    let mut stack: Vec<(BlockId, usize)> = vec![(func.entry, 0)];
+    visited[func.entry.index()] = true;
+    while let Some((b, i)) = stack.pop() {
+        let succs = func.block(b).term.successors();
+        if i < succs.len() {
+            stack.push((b, i + 1));
+            let s = succs[i];
+            if !visited[s.index()] {
+                visited[s.index()] = true;
+                stack.push((s, 0));
+            }
+        } else {
+            post.push(b);
+        }
+    }
+    post.reverse();
+    post
+}
+
+/// Topologically sorts a directed graph given as an explicit edge list over
+/// `n` nodes. Returns `None` if the graph contains a cycle.
+///
+/// The instrumentation pass uses this on the *acyclic* CFG obtained by
+/// deleting loop back edges and exit edges and adding dummy edges (paper
+/// Algorithm 3), so a `None` here indicates an irreducible input.
+pub fn topo_order(n: usize, edges: &[(BlockId, BlockId)]) -> Option<Vec<BlockId>> {
+    let mut indegree = vec![0usize; n];
+    let mut adj = vec![Vec::new(); n];
+    for (u, v) in edges {
+        adj[u.index()].push(*v);
+        indegree[v.index()] += 1;
+    }
+    let mut queue: Vec<BlockId> = (0..n as u32)
+        .map(BlockId)
+        .filter(|b| indegree[b.index()] == 0)
+        .collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(b) = queue.pop() {
+        order.push(b);
+        for &s in &adj[b.index()] {
+            indegree[s.index()] -= 1;
+            if indegree[s.index()] == 0 {
+                queue.push(s);
+            }
+        }
+    }
+    (order.len() == n).then_some(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower;
+    use ldx_lang::compile;
+
+    fn lower_main(src: &str) -> FuncBody {
+        let p = lower(&compile(src).unwrap());
+        let id = p.main();
+        p.func(id).clone()
+    }
+
+    #[test]
+    fn straight_line_rpo_is_single_block() {
+        let f = lower_main("fn main() { let x = 1; }");
+        assert_eq!(reverse_postorder(&f), vec![f.entry]);
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_visits_all_reachable() {
+        let f = lower_main("fn main() { let x = 1; if (x) { x = 2; } else { x = 3; } }");
+        let rpo = reverse_postorder(&f);
+        assert_eq!(rpo[0], f.entry);
+        assert_eq!(rpo.len(), f.blocks.len());
+    }
+
+    #[test]
+    fn rpo_orders_predecessors_before_successors_in_dags() {
+        let f = lower_main("fn main() { let x = 1; if (x) { x = 2; } x = 4; }");
+        let rpo = reverse_postorder(&f);
+        let pos: Vec<usize> = f
+            .block_ids()
+            .map(|b| rpo.iter().position(|&x| x == b).unwrap())
+            .collect();
+        for b in f.block_ids() {
+            for s in f.block(b).term.successors() {
+                assert!(
+                    pos[b.index()] < pos[s.index()],
+                    "DAG RPO must order {b} before {s}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn predecessors_inverts_successors() {
+        let f = lower_main("fn main() { let i = 0; while (i < 3) { i = i + 1; } }");
+        let preds = predecessors(&f);
+        for b in f.block_ids() {
+            for s in f.block(b).term.successors() {
+                assert!(preds[s.index()].contains(&b));
+            }
+        }
+        // The loop header must have two predecessors: entry and latch.
+        let header = f.block(f.entry).term.successors()[0];
+        assert_eq!(preds[header.index()].len(), 2);
+    }
+
+    #[test]
+    fn topo_order_rejects_cycles() {
+        let edges = vec![(BlockId(0), BlockId(1)), (BlockId(1), BlockId(0))];
+        assert!(topo_order(2, &edges).is_none());
+    }
+
+    #[test]
+    fn topo_order_sorts_dag() {
+        let edges = vec![
+            (BlockId(0), BlockId(2)),
+            (BlockId(2), BlockId(1)),
+            (BlockId(0), BlockId(1)),
+        ];
+        let order = topo_order(3, &edges).unwrap();
+        let pos: Vec<usize> = (0..3)
+            .map(|i| order.iter().position(|b| b.index() == i).unwrap())
+            .collect();
+        assert!(pos[0] < pos[2] && pos[2] < pos[1]);
+    }
+
+    #[test]
+    fn topo_order_handles_disconnected_nodes() {
+        let order = topo_order(3, &[(BlockId(0), BlockId(1))]).unwrap();
+        assert_eq!(order.len(), 3);
+    }
+}

@@ -1,0 +1,174 @@
+//! Human-readable IR dumps (for debugging, tests, and documentation).
+
+use crate::instr::{Const, Instr, Terminator};
+use crate::program::{FuncBody, IrProgram};
+use std::fmt::Write as _;
+
+/// Renders a whole program as text.
+pub fn program_to_string(program: &IrProgram) -> String {
+    let mut out = String::new();
+    for (name, init) in &program.globals {
+        let _ = writeln!(out, "global {name} = {}", const_str(init));
+    }
+    for (id, func) in program.iter_funcs() {
+        let _ = writeln!(out, "func {id} {}:", func.name);
+        out.push_str(&func_to_string(func));
+    }
+    out
+}
+
+/// Renders one function as text.
+pub fn func_to_string(func: &FuncBody) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "  params={} locals={} sites={} loops={}",
+        func.param_count, func.local_count, func.site_count, func.loop_count
+    );
+    for b in func.block_ids() {
+        let marker = if b == func.entry { " (entry)" } else { "" };
+        let _ = writeln!(out, "  {b}{marker}:");
+        let block = func.block(b);
+        for i in &block.instrs {
+            let _ = writeln!(out, "    {}", instr_str(i));
+        }
+        let _ = writeln!(out, "    {}", term_str(&block.term));
+    }
+    out
+}
+
+fn const_str(c: &Const) -> String {
+    match c {
+        Const::Int(v) => v.to_string(),
+        Const::Str(s) => format!("{s:?}"),
+        Const::Array(elems) => {
+            let inner: Vec<_> = elems.iter().map(const_str).collect();
+            format!("[{}]", inner.join(", "))
+        }
+    }
+}
+
+fn instr_str(i: &Instr) -> String {
+    match i {
+        Instr::Const { dst, value } => format!("{dst} = const {}", const_str(value)),
+        Instr::Copy { dst, src } => format!("{dst} = {src}"),
+        Instr::LoadGlobal { dst, global } => format!("{dst} = load {global}"),
+        Instr::StoreGlobal { global, src } => format!("store {global} = {src}"),
+        Instr::StoreIndexGlobal { global, index, src } => {
+            format!("store {global}[{index}] = {src}")
+        }
+        Instr::StoreIndexLocal { local, index, src } => format!("store {local}[{index}] = {src}"),
+        Instr::Unary { dst, op, operand } => format!("{dst} = {op}{operand}"),
+        Instr::Binary { dst, op, lhs, rhs } => format!("{dst} = {lhs} {op} {rhs}"),
+        Instr::Index { dst, base, index } => format!("{dst} = {base}[{index}]"),
+        Instr::MakeArray { dst, elems } => {
+            let inner: Vec<_> = elems.iter().map(|e| e.to_string()).collect();
+            format!("{dst} = [{}]", inner.join(", "))
+        }
+        Instr::FuncRef { dst, func } => format!("{dst} = &{func}"),
+        Instr::Call {
+            dst,
+            func,
+            args,
+            site,
+            fresh_frame,
+        } => {
+            let inner: Vec<_> = args.iter().map(|a| a.to_string()).collect();
+            let fresh = if *fresh_frame { " [fresh]" } else { "" };
+            format!("{dst} = call {func}({}) @{site}{fresh}", inner.join(", "))
+        }
+        Instr::CallIndirect {
+            dst,
+            callee,
+            args,
+            site,
+        } => {
+            let inner: Vec<_> = args.iter().map(|a| a.to_string()).collect();
+            format!("{dst} = icall {callee}({}) @{site}", inner.join(", "))
+        }
+        Instr::CallLib { dst, lib, args } => {
+            let inner: Vec<_> = args.iter().map(|a| a.to_string()).collect();
+            format!("{dst} = lib {lib}({})", inner.join(", "))
+        }
+        Instr::Syscall {
+            dst,
+            sys,
+            args,
+            site,
+        } => {
+            let inner: Vec<_> = args.iter().map(|a| a.to_string()).collect();
+            format!("{dst} = syscall {sys}({}) @{site}", inner.join(", "))
+        }
+        Instr::CntAdd { delta } => format!("cnt += {delta}"),
+        Instr::LoopEnter { loop_id } => format!("loop_enter {loop_id}"),
+        Instr::LoopBackedge { loop_id, sub } => format!("loop_backedge {loop_id} cnt -= {sub}"),
+        Instr::LoopExit { loop_id, add } => format!("loop_exit {loop_id} cnt += {add}"),
+    }
+}
+
+fn term_str(t: &Terminator) -> String {
+    match t {
+        Terminator::Jump(b) => format!("jump {b}"),
+        Terminator::Branch {
+            cond,
+            then_bb,
+            else_bb,
+        } => format!("branch {cond} ? {then_bb} : {else_bb}"),
+        Terminator::Return(Some(v)) => format!("return {v}"),
+        Terminator::Return(None) => "return".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower;
+    use ldx_lang::compile;
+
+    #[test]
+    fn dump_contains_structure() {
+        let p = lower(
+            &compile(
+                r#"
+                global g = 3;
+                fn main() {
+                    let fd = open("f", 0);
+                    if (g) { write(fd, "x"); }
+                    close(fd);
+                }
+                "#,
+            )
+            .unwrap(),
+        );
+        let text = program_to_string(&p);
+        assert!(text.contains("global g = 3"));
+        assert!(text.contains("syscall open"));
+        assert!(text.contains("branch"));
+        assert!(text.contains("(entry)"));
+    }
+
+    #[test]
+    fn dump_is_nonempty_for_every_instr_kind_we_emit() {
+        let p = lower(
+            &compile(
+                r#"
+                global arr = [1, 2];
+                fn h(x) { return x; }
+                fn main() {
+                    let a = [1, 2, 3];
+                    a[0] = -a[1];
+                    arr[0] = 5;
+                    let f = &h;
+                    let y = f(1) + h(2) + len("s");
+                    let z = y == 2 || y != 3;
+                }
+                "#,
+            )
+            .unwrap(),
+        );
+        let text = program_to_string(&p);
+        for needle in ["icall", "call f", "lib len", "= &f", "store g0["] {
+            assert!(text.contains(needle), "missing {needle} in dump:\n{text}");
+        }
+    }
+}

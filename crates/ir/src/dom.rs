@@ -1,0 +1,272 @@
+//! Dominator and postdominator computation.
+//!
+//! Uses the Cooper–Harvey–Kennedy iterative algorithm over reverse
+//! postorder. Dominators identify loop back edges (paper Algorithm 3
+//! operates on natural loops); postdominators identify branch join points,
+//! which the control-dependence-tracking taint baseline needs to pop its
+//! implicit-flow scopes.
+
+use crate::cfg::{predecessors, reverse_postorder};
+use crate::program::{BlockId, FuncBody};
+
+/// The immediate-dominator tree of a function's CFG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dominators {
+    /// `idom[b]` is the immediate dominator of `b`; `None` for the entry
+    /// and for unreachable blocks.
+    idom: Vec<Option<BlockId>>,
+    entry: BlockId,
+}
+
+impl Dominators {
+    /// Computes dominators for `func`.
+    pub fn compute(func: &FuncBody) -> Self {
+        let rpo = reverse_postorder(func);
+        let preds = predecessors(func);
+        Self::solve(func.blocks.len(), func.entry, &rpo, |b| {
+            preds[b.index()].clone()
+        })
+    }
+
+    fn solve(
+        n: usize,
+        entry: BlockId,
+        rpo: &[BlockId],
+        preds: impl Fn(BlockId) -> Vec<BlockId>,
+    ) -> Self {
+        let mut rpo_pos = vec![usize::MAX; n];
+        for (i, &b) in rpo.iter().enumerate() {
+            rpo_pos[b.index()] = i;
+        }
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        idom[entry.index()] = Some(entry);
+
+        let intersect = |idom: &[Option<BlockId>], mut a: BlockId, mut b: BlockId| -> BlockId {
+            while a != b {
+                while rpo_pos[a.index()] > rpo_pos[b.index()] {
+                    a = idom[a.index()].expect("processed block has idom");
+                }
+                while rpo_pos[b.index()] > rpo_pos[a.index()] {
+                    b = idom[b.index()].expect("processed block has idom");
+                }
+            }
+            a
+        };
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for p in preds(b) {
+                    if idom[p.index()].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, cur, p),
+                    });
+                }
+                if new_idom.is_some() && idom[b.index()] != new_idom {
+                    idom[b.index()] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+        // Normalize: the entry's idom is conventionally itself during the
+        // fixpoint but `None` in the public API.
+        idom[entry.index()] = None;
+        Dominators { idom, entry }
+    }
+
+    /// The immediate dominator of `b` (`None` for the entry and for
+    /// unreachable blocks).
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        self.idom[b.index()]
+    }
+
+    /// Whether `a` dominates `b` (reflexive: every block dominates itself).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom[cur.index()] {
+                Some(next) => cur = next,
+                None => return cur == a && cur == self.entry,
+            }
+        }
+    }
+}
+
+/// The immediate-postdominator relation, computed on the reversed CFG with
+/// a virtual exit joining all `Return` blocks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PostDominators {
+    /// `ipdom[b]`: immediate postdominator, where `None` means the virtual
+    /// exit (i.e. `b` has no real postdominator).
+    ipdom: Vec<Option<BlockId>>,
+}
+
+impl PostDominators {
+    /// Computes postdominators for `func`.
+    pub fn compute(func: &FuncBody) -> Self {
+        let n = func.blocks.len();
+        // Virtual exit gets index n in the augmented graph.
+        let exit = BlockId(n as u32);
+        let aug_n = n + 1;
+
+        // Reversed edges: preds of the reversed graph = successors of the
+        // original; returns get an edge to the virtual exit.
+        let mut rev_succ: Vec<Vec<BlockId>> = vec![Vec::new(); aug_n]; // reversed graph successors = original preds
+        let mut rev_pred: Vec<Vec<BlockId>> = vec![Vec::new(); aug_n];
+        for b in func.block_ids() {
+            let succs = func.block(b).term.successors();
+            if succs.is_empty() {
+                rev_succ[exit.index()].push(b);
+                rev_pred[b.index()].push(exit);
+            }
+            for s in succs {
+                rev_succ[s.index()].push(b);
+                rev_pred[b.index()].push(s);
+            }
+        }
+
+        // RPO of the reversed graph starting at the virtual exit.
+        let mut visited = vec![false; aug_n];
+        let mut post = Vec::with_capacity(aug_n);
+        let mut stack = vec![(exit, 0usize)];
+        visited[exit.index()] = true;
+        while let Some((b, i)) = stack.pop() {
+            let succs = &rev_succ[b.index()];
+            if i < succs.len() {
+                stack.push((b, i + 1));
+                let s = succs[i];
+                if !visited[s.index()] {
+                    visited[s.index()] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                post.push(b);
+            }
+        }
+        post.reverse();
+
+        let doms = Dominators::solve(aug_n, exit, &post, |b| rev_pred[b.index()].clone());
+        let ipdom = (0..n)
+            .map(|i| match doms.idom(BlockId(i as u32)) {
+                Some(d) if d != exit => Some(d),
+                _ => None,
+            })
+            .collect();
+        PostDominators { ipdom }
+    }
+
+    /// The immediate postdominator of `b`, or `None` if it is the function
+    /// exit.
+    pub fn ipdom(&self, b: BlockId) -> Option<BlockId> {
+        self.ipdom[b.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::Terminator;
+    use crate::lower;
+    use ldx_lang::compile;
+
+    fn lower_main(src: &str) -> FuncBody {
+        let p = lower(&compile(src).unwrap());
+        let id = p.main();
+        p.func(id).clone()
+    }
+
+    #[test]
+    fn entry_dominates_everything() {
+        let f = lower_main(
+            "fn main() { let x = 1; if (x) { x = 2; } else { x = 3; } while (x) { x = x - 1; } }",
+        );
+        let doms = Dominators::compute(&f);
+        for b in f.block_ids() {
+            assert!(doms.dominates(f.entry, b), "entry must dominate {b}");
+        }
+        assert_eq!(doms.idom(f.entry), None);
+    }
+
+    #[test]
+    fn branch_arms_dominated_by_condition_not_each_other() {
+        let f = lower_main("fn main() { let x = 1; if (x) { x = 2; } else { x = 3; } x = 4; }");
+        let doms = Dominators::compute(&f);
+        let succs = f.block(f.entry).term.successors();
+        let (t, e) = (succs[0], succs[1]);
+        assert!(doms.dominates(f.entry, t));
+        assert!(doms.dominates(f.entry, e));
+        assert!(!doms.dominates(t, e));
+        assert!(!doms.dominates(e, t));
+        // The join's idom is the branch block.
+        let join = f.block(t).term.successors()[0];
+        assert_eq!(doms.idom(join), Some(f.entry));
+    }
+
+    #[test]
+    fn loop_header_dominates_body() {
+        let f = lower_main("fn main() { let i = 0; while (i < 3) { i = i + 1; } }");
+        let doms = Dominators::compute(&f);
+        let header = f.block(f.entry).term.successors()[0];
+        let Terminator::Branch { then_bb, .. } = f.block(header).term else {
+            panic!()
+        };
+        assert!(doms.dominates(header, then_bb));
+        assert!(!doms.dominates(then_bb, header));
+    }
+
+    #[test]
+    fn join_postdominates_branch() {
+        let f = lower_main("fn main() { let x = 1; if (x) { x = 2; } else { x = 3; } x = 4; }");
+        let pdoms = PostDominators::compute(&f);
+        let succs = f.block(f.entry).term.successors();
+        let join = f.block(succs[0]).term.successors()[0];
+        assert_eq!(pdoms.ipdom(f.entry), Some(join));
+        assert_eq!(pdoms.ipdom(succs[0]), Some(join));
+        assert_eq!(pdoms.ipdom(succs[1]), Some(join));
+    }
+
+    #[test]
+    fn return_block_has_no_postdominator() {
+        let f = lower_main("fn main() { let x = 1; }");
+        let pdoms = PostDominators::compute(&f);
+        assert_eq!(pdoms.ipdom(f.entry), None);
+    }
+
+    #[test]
+    fn early_return_branch_postdominators() {
+        // if (x) { return; } y = 2;  — the branch block's ipdom is the
+        // virtual exit (None), because one arm returns.
+        let f = lower_main("fn f(x) { if (x) { return 1; } return 2; } fn main() { f(1); }");
+        let p = lower(
+            &compile("fn f(x) { if (x) { return 1; } return 2; } fn main() { f(1); }").unwrap(),
+        );
+        let fid = p.func_id("f").unwrap();
+        let fb = p.func(fid);
+        let pdoms = PostDominators::compute(fb);
+        assert_eq!(pdoms.ipdom(fb.entry), None);
+        let _ = f;
+    }
+
+    #[test]
+    fn while_loop_postdominated_by_exit_block() {
+        let f = lower_main("fn main() { let i = 0; while (i < 3) { i = i + 1; } i = 9; }");
+        let pdoms = PostDominators::compute(&f);
+        let header = f.block(f.entry).term.successors()[0];
+        let Terminator::Branch {
+            then_bb, else_bb, ..
+        } = f.block(header).term
+        else {
+            panic!()
+        };
+        assert_eq!(pdoms.ipdom(then_bb), Some(header));
+        assert_eq!(pdoms.ipdom(header), Some(else_bb));
+    }
+}

@@ -1,0 +1,353 @@
+//! IR instructions, terminators, and constants.
+
+use crate::program::{BlockId, FuncId, GlobalId, LocalId, LoopId, SiteId};
+use ldx_lang::{BinaryOp, LibFn, Syscall, UnaryOp};
+
+/// A compile-time constant (global initializers, literals).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Const {
+    /// An integer constant.
+    Int(i64),
+    /// A string constant.
+    Str(String),
+    /// An array of constants.
+    Array(Vec<Const>),
+}
+
+/// A straight-line IR instruction.
+///
+/// The register machine is deliberately simple: every operand and result is
+/// a function-frame slot ([`LocalId`]). The instrumentation-specific
+/// variants (`CntAdd`, `LoopEnter`, `LoopBackedge`, `LoopExit`) are emitted
+/// only by the `ldx-instrument` pass, never by lowering.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Instr {
+    /// `dst = const`
+    Const {
+        /// Destination slot.
+        dst: LocalId,
+        /// The constant value.
+        value: Const,
+    },
+    /// `dst = src`
+    Copy {
+        /// Destination slot.
+        dst: LocalId,
+        /// Source slot.
+        src: LocalId,
+    },
+    /// `dst = globals[global]`
+    LoadGlobal {
+        /// Destination slot.
+        dst: LocalId,
+        /// Which global to read.
+        global: GlobalId,
+    },
+    /// `globals[global] = src`
+    StoreGlobal {
+        /// Which global to write.
+        global: GlobalId,
+        /// Source slot.
+        src: LocalId,
+    },
+    /// `globals[global][index] = src` — in-place element store, performed
+    /// atomically with respect to other Lx threads.
+    StoreIndexGlobal {
+        /// Which global array to mutate.
+        global: GlobalId,
+        /// Slot holding the element index.
+        index: LocalId,
+        /// Slot holding the new element value.
+        src: LocalId,
+    },
+    /// `local[index] = src` — element store into a local array.
+    StoreIndexLocal {
+        /// The local array slot.
+        local: LocalId,
+        /// Slot holding the element index.
+        index: LocalId,
+        /// Slot holding the new element value.
+        src: LocalId,
+    },
+    /// `dst = op operand`
+    Unary {
+        /// Destination slot.
+        dst: LocalId,
+        /// The operator.
+        op: UnaryOp,
+        /// Operand slot.
+        operand: LocalId,
+    },
+    /// `dst = lhs op rhs` (non-short-circuiting operators only; `&&`/`||`
+    /// are lowered to control flow).
+    Binary {
+        /// Destination slot.
+        dst: LocalId,
+        /// The operator.
+        op: BinaryOp,
+        /// Left operand slot.
+        lhs: LocalId,
+        /// Right operand slot.
+        rhs: LocalId,
+    },
+    /// `dst = base[index]`
+    Index {
+        /// Destination slot.
+        dst: LocalId,
+        /// Slot holding the array or string.
+        base: LocalId,
+        /// Slot holding the index.
+        index: LocalId,
+    },
+    /// `dst = [elems...]`
+    MakeArray {
+        /// Destination slot.
+        dst: LocalId,
+        /// Slots holding the elements.
+        elems: Vec<LocalId>,
+    },
+    /// `dst = &func`
+    FuncRef {
+        /// Destination slot.
+        dst: LocalId,
+        /// The referenced function.
+        func: FuncId,
+    },
+    /// `dst = func(args...)` — a direct call to a user function.
+    ///
+    /// `fresh_frame` is set by the instrumentation pass for calls that
+    /// participate in recursion (call-graph cycles); such calls save the
+    /// progress counter, reset it to zero, and restore on return, exactly
+    /// like indirect calls (paper §5–6).
+    Call {
+        /// Destination slot for the return value.
+        dst: LocalId,
+        /// The callee.
+        func: FuncId,
+        /// Argument slots.
+        args: Vec<LocalId>,
+        /// Call site id (the "PC" for alignment purposes).
+        site: SiteId,
+        /// Whether the progress counter gets a fresh frame for this call.
+        fresh_frame: bool,
+    },
+    /// `dst = callee(args...)` — an indirect call through a function
+    /// reference. Always a fresh counter frame (paper §6).
+    CallIndirect {
+        /// Destination slot for the return value.
+        dst: LocalId,
+        /// Slot holding the function reference.
+        callee: LocalId,
+        /// Argument slots.
+        args: Vec<LocalId>,
+        /// Call site id.
+        site: SiteId,
+    },
+    /// `dst = libfn(args...)` — a pure library function.
+    CallLib {
+        /// Destination slot.
+        dst: LocalId,
+        /// Which library function.
+        lib: LibFn,
+        /// Argument slots.
+        args: Vec<LocalId>,
+    },
+    /// `dst = syscall(args...)` — a virtual syscall, routed through the
+    /// execution's syscall dispatcher. Contributes `+1` to the static
+    /// progress counter (paper §4.1).
+    Syscall {
+        /// Destination slot for the syscall result.
+        dst: LocalId,
+        /// Which syscall.
+        sys: Syscall,
+        /// Argument slots.
+        args: Vec<LocalId>,
+        /// Syscall site id (the "PC" for alignment purposes).
+        site: SiteId,
+    },
+
+    // ------- Instrumentation-emitted instructions (paper Algorithms 1 & 3).
+    /// `cnt += delta` — edge compensation inserted by Algorithm 1 (always
+    /// `delta > 0`; backedge resets use [`Instr::LoopBackedge`]).
+    CntAdd {
+        /// The compensation amount.
+        delta: u64,
+    },
+    /// Entry edge of an instrumented loop: pushes iteration epoch 0 for
+    /// `loop_id` onto the frame's loop stack.
+    LoopEnter {
+        /// Which loop is being entered.
+        loop_id: LoopId,
+    },
+    /// A loop backedge: synchronizes with the peer execution at the
+    /// iteration boundary (the "barrier" of paper §5), increments the
+    /// iteration epoch, and resets the counter by `sub` so the next
+    /// iteration starts from the header value.
+    LoopBackedge {
+        /// Which loop's backedge this is.
+        loop_id: LoopId,
+        /// Amount subtracted from the counter (`cnt[t] - cnt[h]`).
+        sub: u64,
+    },
+    /// A loop exit edge: pops the iteration epoch and raises the counter by
+    /// `add` (`cnt[n] - cnt[u]`), making post-loop counter values strictly
+    /// larger than any value inside the loop.
+    LoopExit {
+        /// Which loop is being exited.
+        loop_id: LoopId,
+        /// Amount added to the counter.
+        add: u64,
+    },
+}
+
+impl Instr {
+    /// The syscall this instruction performs, if any.
+    pub fn as_syscall(&self) -> Option<Syscall> {
+        match self {
+            Instr::Syscall { sys, .. } => Some(*sys),
+            _ => None,
+        }
+    }
+
+    /// Whether this is one of the instrumentation-emitted instructions.
+    pub fn is_instrumentation(&self) -> bool {
+        matches!(
+            self,
+            Instr::CntAdd { .. }
+                | Instr::LoopEnter { .. }
+                | Instr::LoopBackedge { .. }
+                | Instr::LoopExit { .. }
+        )
+    }
+}
+
+/// A basic block terminator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Terminator {
+    /// Unconditional jump.
+    Jump(BlockId),
+    /// Two-way branch on the truthiness of `cond`.
+    Branch {
+        /// Slot holding the condition value.
+        cond: LocalId,
+        /// Target when true.
+        then_bb: BlockId,
+        /// Target when false.
+        else_bb: BlockId,
+    },
+    /// Function return with an optional value (defaults to integer 0).
+    Return(Option<LocalId>),
+}
+
+impl Terminator {
+    /// Successor blocks, in branch order.
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self {
+            Terminator::Jump(b) => vec![*b],
+            Terminator::Branch {
+                then_bb, else_bb, ..
+            } => vec![*then_bb, *else_bb],
+            Terminator::Return(_) => vec![],
+        }
+    }
+
+    /// Rewrites every successor equal to `from` into `to` (used by edge
+    /// splitting in the instrumentation pass).
+    pub fn retarget(&mut self, from: BlockId, to: BlockId) {
+        match self {
+            Terminator::Jump(b) => {
+                if *b == from {
+                    *b = to;
+                }
+            }
+            Terminator::Branch {
+                then_bb, else_bb, ..
+            } => {
+                if *then_bb == from {
+                    *then_bb = to;
+                }
+                if *else_bb == from {
+                    *else_bb = to;
+                }
+            }
+            Terminator::Return(_) => {}
+        }
+    }
+}
+
+/// A basic block: straight-line instructions plus a terminator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BasicBlock {
+    /// The instructions, executed in order.
+    pub instrs: Vec<Instr>,
+    /// The terminator deciding the successor.
+    pub term: Terminator,
+}
+
+impl BasicBlock {
+    /// An empty block ending in the given terminator.
+    pub fn new(term: Terminator) -> Self {
+        BasicBlock {
+            instrs: Vec::new(),
+            term,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn successors_of_each_terminator() {
+        assert_eq!(Terminator::Jump(BlockId(2)).successors(), vec![BlockId(2)]);
+        assert_eq!(
+            Terminator::Branch {
+                cond: LocalId(0),
+                then_bb: BlockId(1),
+                else_bb: BlockId(2),
+            }
+            .successors(),
+            vec![BlockId(1), BlockId(2)]
+        );
+        assert!(Terminator::Return(None).successors().is_empty());
+    }
+
+    #[test]
+    fn retarget_rewrites_matching_successors() {
+        let mut t = Terminator::Branch {
+            cond: LocalId(0),
+            then_bb: BlockId(1),
+            else_bb: BlockId(1),
+        };
+        t.retarget(BlockId(1), BlockId(5));
+        assert_eq!(t.successors(), vec![BlockId(5), BlockId(5)]);
+
+        let mut j = Terminator::Jump(BlockId(3));
+        j.retarget(BlockId(9), BlockId(1));
+        assert_eq!(j.successors(), vec![BlockId(3)]);
+    }
+
+    #[test]
+    fn instrumentation_classification() {
+        assert!(Instr::CntAdd { delta: 1 }.is_instrumentation());
+        assert!(Instr::LoopEnter { loop_id: LoopId(0) }.is_instrumentation());
+        assert!(!Instr::Copy {
+            dst: LocalId(0),
+            src: LocalId(1)
+        }
+        .is_instrumentation());
+    }
+
+    #[test]
+    fn syscall_extraction() {
+        let i = Instr::Syscall {
+            dst: LocalId(0),
+            sys: Syscall::Read,
+            args: vec![],
+            site: SiteId(0),
+        };
+        assert_eq!(i.as_syscall(), Some(Syscall::Read));
+        assert_eq!(Instr::CntAdd { delta: 1 }.as_syscall(), None);
+    }
+}

@@ -1,0 +1,33 @@
+//! Control-flow-graph IR for the LDX reproduction.
+//!
+//! The paper implements its counter instrumentation as an LLVM pass over
+//! function CFGs. This crate provides the equivalent substrate for Lx:
+//!
+//! * [`lower()`](fn@lower) translates a resolved AST into a register-based IR of basic
+//!   blocks ([`IrProgram`], [`FuncBody`], [`BasicBlock`]);
+//! * [`cfg`](mod@cfg) computes orderings (reverse postorder, DAG topological order)
+//!   and predecessor maps;
+//! * [`dom`] computes dominators and postdominators;
+//! * [`loops`] detects natural loops (headers, back edges, exit edges) —
+//!   exactly the structures paper Algorithm 3 manipulates;
+//! * [`callgraph`] builds the call graph with Tarjan SCCs, giving the
+//!   reverse topological order paper Algorithm 1 processes functions in and
+//!   identifying recursion (which LDX handles like indirect calls, §5–6).
+//!
+//! The instrumentation pass itself lives in `ldx-instrument`; it rewrites
+//! the data structures defined here.
+
+pub mod callgraph;
+pub mod cfg;
+pub mod display;
+pub mod dom;
+pub mod instr;
+pub mod loops;
+pub mod lower;
+pub mod program;
+
+pub use callgraph::CallGraph;
+pub use instr::{BasicBlock, Const, Instr, Terminator};
+pub use loops::{LoopForest, NaturalLoop};
+pub use lower::lower;
+pub use program::{BlockId, FuncBody, FuncId, GlobalId, IrProgram, LocalId, LoopId, SiteId};

@@ -1,0 +1,255 @@
+//! Natural-loop detection.
+//!
+//! Paper Algorithm 3 instruments loops by manipulating three edge sets:
+//! back edges (barrier + counter reset), exit edges (counter raise), and
+//! the entry edges into the header. This module computes those sets from
+//! the dominator tree: an edge `u -> h` is a back edge when `h` dominates
+//! `u`; the natural loop of `h` is everything that reaches a back-edge
+//! source without passing through `h`.
+
+use crate::cfg::predecessors;
+use crate::dom::Dominators;
+use crate::program::{BlockId, FuncBody};
+use std::collections::BTreeSet;
+
+/// One natural loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NaturalLoop {
+    /// The loop header (the unique entry point).
+    pub header: BlockId,
+    /// All blocks in the loop, including the header.
+    pub body: BTreeSet<BlockId>,
+    /// Sources of back edges (`u` such that `u -> header` is a back edge).
+    pub latches: Vec<BlockId>,
+    /// Edges `(u, v)` with `u` inside the loop and `v` outside.
+    pub exit_edges: Vec<(BlockId, BlockId)>,
+    /// Edges `(u, header)` with `u` outside the loop (the entry edges).
+    pub entry_edges: Vec<(BlockId, BlockId)>,
+}
+
+impl NaturalLoop {
+    /// Whether `b` belongs to the loop.
+    pub fn contains(&self, b: BlockId) -> bool {
+        self.body.contains(&b)
+    }
+}
+
+/// All natural loops of a function, ordered by header block id.
+///
+/// Loops sharing a header are merged (standard practice); distinct loops
+/// are either disjoint or properly nested, because lowering produces
+/// reducible CFGs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopForest {
+    loops: Vec<NaturalLoop>,
+}
+
+impl LoopForest {
+    /// Detects the natural loops of `func`.
+    pub fn compute(func: &FuncBody) -> Self {
+        let doms = Dominators::compute(func);
+        let preds = predecessors(func);
+
+        // Group back edges by header.
+        let mut by_header: Vec<(BlockId, Vec<BlockId>)> = Vec::new();
+        for u in func.block_ids() {
+            for h in func.block(u).term.successors() {
+                if doms.dominates(h, u) {
+                    match by_header.iter_mut().find(|(hh, _)| *hh == h) {
+                        Some((_, latches)) => latches.push(u),
+                        None => by_header.push((h, vec![u])),
+                    }
+                }
+            }
+        }
+        by_header.sort_by_key(|(h, _)| *h);
+
+        let loops = by_header
+            .into_iter()
+            .map(|(header, latches)| {
+                // Natural loop body: reverse reachability from the latches
+                // without passing through the header.
+                let mut body: BTreeSet<BlockId> = BTreeSet::new();
+                body.insert(header);
+                let mut stack: Vec<BlockId> = latches.clone();
+                while let Some(b) = stack.pop() {
+                    if body.insert(b) {
+                        for &p in &preds[b.index()] {
+                            stack.push(p);
+                        }
+                    }
+                }
+                let mut exit_edges = Vec::new();
+                for &u in &body {
+                    for v in func.block(u).term.successors() {
+                        if !body.contains(&v) {
+                            exit_edges.push((u, v));
+                        }
+                    }
+                }
+                let entry_edges = preds[header.index()]
+                    .iter()
+                    .filter(|p| !body.contains(p))
+                    .map(|&p| (p, header))
+                    .collect();
+                NaturalLoop {
+                    header,
+                    body,
+                    latches,
+                    exit_edges,
+                    entry_edges,
+                }
+            })
+            .collect();
+        LoopForest { loops }
+    }
+
+    /// The detected loops, ordered by header id.
+    pub fn loops(&self) -> &[NaturalLoop] {
+        &self.loops
+    }
+
+    /// The innermost loop containing `b`, if any.
+    pub fn innermost_containing(&self, b: BlockId) -> Option<&NaturalLoop> {
+        self.loops
+            .iter()
+            .filter(|l| l.contains(b))
+            .min_by_key(|l| l.body.len())
+    }
+
+    /// Whether edge `(u, v)` is a back edge of some loop.
+    pub fn is_back_edge(&self, u: BlockId, v: BlockId) -> bool {
+        self.loops
+            .iter()
+            .any(|l| l.header == v && l.latches.contains(&u))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower;
+    use ldx_lang::compile;
+
+    fn lower_main(src: &str) -> FuncBody {
+        let p = lower(&compile(src).unwrap());
+        let id = p.main();
+        p.func(id).clone()
+    }
+
+    #[test]
+    fn straight_line_has_no_loops() {
+        let f = lower_main("fn main() { let x = 1; if (x) { x = 2; } }");
+        assert!(LoopForest::compute(&f).loops().is_empty());
+    }
+
+    #[test]
+    fn while_loop_detected_with_header_latch_exit() {
+        let f = lower_main("fn main() { let i = 0; while (i < 3) { i = i + 1; } }");
+        let forest = LoopForest::compute(&f);
+        assert_eq!(forest.loops().len(), 1);
+        let l = &forest.loops()[0];
+        let header = f.block(f.entry).term.successors()[0];
+        assert_eq!(l.header, header);
+        assert_eq!(l.latches.len(), 1);
+        assert_eq!(l.body.len(), 2); // header + body block
+        assert_eq!(l.exit_edges.len(), 1);
+        assert_eq!(l.exit_edges[0].0, header);
+        assert_eq!(l.entry_edges, vec![(f.entry, header)]);
+        assert!(forest.is_back_edge(l.latches[0], header));
+    }
+
+    #[test]
+    fn for_loop_latch_is_step_block() {
+        let f = lower_main("fn main() { for (let i = 0; i < 3; i = i + 1) { let z = i; } }");
+        let forest = LoopForest::compute(&f);
+        let l = &forest.loops()[0];
+        // Body: header + body block + step block.
+        assert_eq!(l.body.len(), 3);
+        assert_eq!(l.latches.len(), 1);
+    }
+
+    #[test]
+    fn nested_loops_are_properly_nested() {
+        let f = lower_main(
+            r#"fn main() {
+                let n = 3;
+                for (let i = 0; i < n; i = i + 1) {
+                    let j = 0;
+                    while (j < n) { j = j + 1; }
+                }
+            }"#,
+        );
+        let forest = LoopForest::compute(&f);
+        assert_eq!(forest.loops().len(), 2);
+        let (a, b) = (&forest.loops()[0], &forest.loops()[1]);
+        let (outer, inner) = if a.body.len() > b.body.len() {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        for blk in &inner.body {
+            assert!(outer.contains(*blk), "inner loop must be inside outer");
+        }
+        assert_ne!(outer.header, inner.header);
+    }
+
+    #[test]
+    fn break_adds_second_exit_edge() {
+        let f = lower_main(
+            r#"fn main() {
+                let i = 0;
+                while (i < 10) {
+                    if (i == 3) { break; }
+                    i = i + 1;
+                }
+            }"#,
+        );
+        let forest = LoopForest::compute(&f);
+        let l = &forest.loops()[0];
+        assert_eq!(l.exit_edges.len(), 2, "header exit + break exit");
+        // Every exit edge leaves the body. (Note: the `break` arm itself is
+        // *outside* the natural loop — it cannot reach the latch — so the
+        // two exits target different blocks.)
+        for (u, v) in &l.exit_edges {
+            assert!(l.contains(*u));
+            assert!(!l.contains(*v));
+        }
+    }
+
+    #[test]
+    fn continue_in_while_adds_second_backedge() {
+        let f = lower_main(
+            r#"fn main() {
+                let i = 0;
+                while (i < 10) {
+                    i = i + 1;
+                    if (i == 3) { continue; }
+                    i = i + 2;
+                }
+            }"#,
+        );
+        let forest = LoopForest::compute(&f);
+        let l = &forest.loops()[0];
+        assert_eq!(l.latches.len(), 2, "normal latch + continue latch");
+    }
+
+    #[test]
+    fn innermost_containing_picks_smaller_loop() {
+        let f = lower_main(
+            r#"fn main() {
+                let n = 3;
+                let i = 0;
+                while (i < n) {
+                    let j = 0;
+                    while (j < n) { j = j + 1; }
+                    i = i + 1;
+                }
+            }"#,
+        );
+        let forest = LoopForest::compute(&f);
+        let inner = forest.loops().iter().min_by_key(|l| l.body.len()).unwrap();
+        let got = forest.innermost_containing(inner.header).unwrap();
+        assert_eq!(got.header, inner.header);
+    }
+}

@@ -1,0 +1,357 @@
+//! Abstract syntax tree for Lx.
+
+use crate::error::Span;
+use std::fmt;
+
+/// A complete Lx program: globals and functions, in source order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    items: Vec<Item>,
+}
+
+impl Program {
+    /// Builds a program from its top-level items.
+    pub fn new(items: Vec<Item>) -> Self {
+        Program { items }
+    }
+
+    /// All top-level items in source order.
+    pub fn items(&self) -> &[Item] {
+        &self.items
+    }
+
+    /// Iterates over the program's function definitions.
+    pub fn functions(&self) -> impl Iterator<Item = &Function> {
+        self.items.iter().filter_map(|item| match item {
+            Item::Function(f) => Some(f),
+            Item::Global { .. } => None,
+        })
+    }
+
+    /// Iterates over the program's global declarations as `(name, init)`.
+    pub fn globals(&self) -> impl Iterator<Item = (&str, &Expr)> {
+        self.items.iter().filter_map(|item| match item {
+            Item::Global { name, init, .. } => Some((name.as_str(), init)),
+            Item::Function(_) => None,
+        })
+    }
+
+    /// Looks up a function definition by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions().find(|f| f.name == name)
+    }
+}
+
+/// A top-level item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    /// `global name = <const expr>;`
+    Global {
+        /// The global's name.
+        name: String,
+        /// Its initializer (restricted to constants by the resolver).
+        init: Expr,
+        /// Source location of the declaration.
+        span: Span,
+    },
+    /// `fn name(params) { ... }`
+    Function(Function),
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// The function's name.
+    pub name: String,
+    /// Parameter names, in order.
+    pub params: Vec<String>,
+    /// The function body.
+    pub body: Block,
+    /// Source location of the `fn` keyword.
+    pub span: Span,
+}
+
+/// A `{ ... }` block of statements.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Block {
+    /// The statements, in order.
+    pub stmts: Vec<Stmt>,
+}
+
+impl Block {
+    /// Creates a block from statements.
+    pub fn new(stmts: Vec<Stmt>) -> Self {
+        Block { stmts }
+    }
+}
+
+/// A statement with its source location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stmt {
+    /// What the statement does.
+    pub kind: StmtKind,
+    /// Source location of the statement's first token.
+    pub span: Span,
+}
+
+/// The different statement forms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StmtKind {
+    /// `let x = e;` — declares a function-scoped local.
+    Let {
+        /// The local's name.
+        name: String,
+        /// The initializer.
+        init: Expr,
+    },
+    /// `lvalue = e;`
+    Assign {
+        /// The assignment target.
+        target: LValue,
+        /// The value assigned.
+        value: Expr,
+    },
+    /// `if (c) { .. } else { .. }` (the `else` arm may be empty).
+    If {
+        /// The branch condition.
+        cond: Expr,
+        /// Statements executed when the condition is true.
+        then_block: Block,
+        /// Statements executed when the condition is false.
+        else_block: Block,
+    },
+    /// `while (c) { .. }`
+    While {
+        /// The loop condition, evaluated before each iteration.
+        cond: Expr,
+        /// The loop body.
+        body: Block,
+    },
+    /// `for (init; cond; step) { .. }` — desugared by the lowering stage
+    /// into an equivalent `while` with the step appended to the body.
+    For {
+        /// The initialization statement (a `let` or assignment), if any.
+        init: Option<Box<Stmt>>,
+        /// The loop condition; `None` means always true.
+        cond: Option<Expr>,
+        /// The step statement, run after each iteration, if any.
+        step: Option<Box<Stmt>>,
+        /// The loop body.
+        body: Block,
+    },
+    /// `return e;` or `return;`
+    Return(Option<Expr>),
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+    /// An expression evaluated for its effects, e.g. `write(1, "x");`
+    Expr(Expr),
+}
+
+/// An assignable place.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LValue {
+    /// A local, parameter, or global variable.
+    Var(String),
+    /// An element of an array variable: `a[i] = v;`
+    Index {
+        /// The array variable's name.
+        name: String,
+        /// The element index.
+        index: Box<Expr>,
+    },
+}
+
+/// An expression with its source location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    /// What the expression computes.
+    pub kind: ExprKind,
+    /// Source location of the expression's first token.
+    pub span: Span,
+}
+
+impl Expr {
+    /// Creates an expression node.
+    pub fn new(kind: ExprKind, span: Span) -> Self {
+        Expr { kind, span }
+    }
+
+    /// Convenience constructor for integer literals in synthesized code.
+    pub fn int(value: i64) -> Self {
+        Expr::new(ExprKind::Int(value), Span::synthesized())
+    }
+}
+
+/// The different expression forms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    /// An integer literal.
+    Int(i64),
+    /// A string literal.
+    Str(String),
+    /// A variable reference (local, parameter, or global).
+    Var(String),
+    /// `&f` — a first-class reference to function `f`, used for indirect
+    /// calls and as the `spawn` target.
+    FuncRef(String),
+    /// `[e, e, ...]` — an array literal.
+    Array(Vec<Expr>),
+    /// A unary operation.
+    Unary {
+        /// The operator.
+        op: UnaryOp,
+        /// The operand.
+        operand: Box<Expr>,
+    },
+    /// A binary operation. `&&` and `||` short-circuit.
+    Binary {
+        /// The operator.
+        op: BinaryOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// `e[i]` — array or string indexing.
+    Index {
+        /// The indexed value.
+        base: Box<Expr>,
+        /// The element index.
+        index: Box<Expr>,
+    },
+    /// `name(args)` — a direct call to a user function or builtin.
+    Call {
+        /// The callee's name.
+        callee: String,
+        /// Argument expressions, in order.
+        args: Vec<Expr>,
+    },
+    /// `v(args)` where `v` holds a function reference — an indirect call.
+    CallIndirect {
+        /// The expression producing the function reference.
+        callee: Box<Expr>,
+        /// Argument expressions, in order.
+        args: Vec<Expr>,
+    },
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnaryOp {
+    /// Arithmetic negation, `-e`.
+    Neg,
+    /// Logical negation, `!e`.
+    Not,
+}
+
+impl fmt::Display for UnaryOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnaryOp::Neg => write!(f, "-"),
+            UnaryOp::Not => write!(f, "!"),
+        }
+    }
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinaryOp {
+    /// `+` — integer addition, or concatenation when either side is a string.
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` (trapping on division by zero)
+    Div,
+    /// `%` (trapping on division by zero)
+    Rem,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&` (short-circuiting)
+    And,
+    /// `||` (short-circuiting)
+    Or,
+}
+
+impl BinaryOp {
+    /// Whether this operator short-circuits (and therefore introduces
+    /// control flow during lowering).
+    pub fn short_circuits(self) -> bool {
+        matches!(self, BinaryOp::And | BinaryOp::Or)
+    }
+}
+
+impl fmt::Display for BinaryOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinaryOp::Add => "+",
+            BinaryOp::Sub => "-",
+            BinaryOp::Mul => "*",
+            BinaryOp::Div => "/",
+            BinaryOp::Rem => "%",
+            BinaryOp::Eq => "==",
+            BinaryOp::Ne => "!=",
+            BinaryOp::Lt => "<",
+            BinaryOp::Le => "<=",
+            BinaryOp::Gt => ">",
+            BinaryOp::Ge => ">=",
+            BinaryOp::And => "&&",
+            BinaryOp::Or => "||",
+        };
+        write!(f, "{s}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn program_accessors() {
+        let f = Function {
+            name: "main".into(),
+            params: vec![],
+            body: Block::default(),
+            span: Span::new(1, 1),
+        };
+        let p = Program::new(vec![
+            Item::Global {
+                name: "g".into(),
+                init: Expr::int(3),
+                span: Span::new(1, 1),
+            },
+            Item::Function(f),
+        ]);
+        assert_eq!(p.functions().count(), 1);
+        assert_eq!(p.globals().count(), 1);
+        assert!(p.function("main").is_some());
+        assert!(p.function("missing").is_none());
+    }
+
+    #[test]
+    fn short_circuit_classification() {
+        assert!(BinaryOp::And.short_circuits());
+        assert!(BinaryOp::Or.short_circuits());
+        assert!(!BinaryOp::Add.short_circuits());
+        assert!(!BinaryOp::Eq.short_circuits());
+    }
+
+    #[test]
+    fn operator_display() {
+        assert_eq!(BinaryOp::Le.to_string(), "<=");
+        assert_eq!(UnaryOp::Not.to_string(), "!");
+    }
+}

@@ -1,0 +1,99 @@
+//! Diagnostics for the Lx frontend.
+
+use std::error::Error;
+use std::fmt;
+
+/// A source location: 1-based line and column.
+///
+/// Spans are attached to tokens during lexing and threaded through the AST so
+/// that every later pipeline stage (parsing, resolution, lowering,
+/// instrumentation) can point at the offending source position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Span {
+    /// 1-based source line. Line 0 means "unknown / synthesized".
+    pub line: u32,
+    /// 1-based source column. Column 0 means "unknown / synthesized".
+    pub col: u32,
+}
+
+impl Span {
+    /// Creates a span for the given 1-based line and column.
+    pub fn new(line: u32, col: u32) -> Self {
+        Span { line, col }
+    }
+
+    /// The span used for compiler-synthesized constructs with no source text.
+    pub fn synthesized() -> Self {
+        Span { line: 0, col: 0 }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "<synthesized>")
+        } else {
+            write!(f, "{}:{}", self.line, self.col)
+        }
+    }
+}
+
+/// An error produced by the Lx frontend (lexer, parser, or resolver).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LangError {
+    span: Span,
+    message: String,
+}
+
+impl LangError {
+    /// Creates an error anchored at `span`.
+    pub fn new(span: Span, message: impl Into<String>) -> Self {
+        LangError {
+            span,
+            message: message.into(),
+        }
+    }
+
+    /// The source location the error points at.
+    pub fn span(&self) -> Span {
+        self.span
+    }
+
+    /// The human-readable description (lowercase, no trailing period).
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.span, self.message)
+    }
+}
+
+impl Error for LangError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_display() {
+        assert_eq!(Span::new(3, 14).to_string(), "3:14");
+        assert_eq!(Span::synthesized().to_string(), "<synthesized>");
+    }
+
+    #[test]
+    fn error_display_includes_location() {
+        let err = LangError::new(Span::new(2, 5), "unexpected token");
+        assert_eq!(err.to_string(), "2:5: unexpected token");
+        assert_eq!(err.span(), Span::new(2, 5));
+        assert_eq!(err.message(), "unexpected token");
+    }
+
+    #[test]
+    fn spans_order_by_position() {
+        assert!(Span::new(1, 9) < Span::new(2, 1));
+        assert!(Span::new(2, 1) < Span::new(2, 2));
+    }
+}

@@ -1,0 +1,371 @@
+//! Hand-written lexer for Lx.
+
+use crate::error::{LangError, Span};
+use crate::token::{keyword, Token, TokenKind};
+
+/// Lexes an entire source string into a token stream ending in
+/// [`TokenKind::Eof`].
+///
+/// # Errors
+///
+/// Returns a [`LangError`] on the first unrecognized character, malformed
+/// escape, unterminated string, or out-of-range integer literal.
+pub fn lex(source: &str) -> Result<Vec<Token>, LangError> {
+    Lexer::new(source).run()
+}
+
+/// A streaming lexer over Lx source text.
+///
+/// Most callers should use the convenience function [`lex`]; the type is
+/// exposed for incremental tooling (e.g. syntax highlighting in tests).
+#[derive(Debug)]
+pub struct Lexer<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    /// Creates a lexer at the beginning of `source`.
+    pub fn new(source: &'a str) -> Self {
+        Lexer {
+            chars: source.chars().peekable(),
+            line: 1,
+            col: 1,
+        }
+    }
+
+    /// Consumes the lexer, producing the full token stream.
+    ///
+    /// # Errors
+    ///
+    /// See [`lex`].
+    pub fn run(mut self) -> Result<Vec<Token>, LangError> {
+        let mut out = Vec::new();
+        loop {
+            let tok = self.next_token()?;
+            let done = tok.kind == TokenKind::Eof;
+            out.push(tok);
+            if done {
+                return Ok(out);
+            }
+        }
+    }
+
+    fn span(&self) -> Span {
+        Span::new(self.line, self.col)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next()?;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+
+    fn eat(&mut self, expected: char) -> bool {
+        if self.peek() == Some(expected) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('/') => {
+                    // Only a comment if followed by another '/'.
+                    let mut clone = self.chars.clone();
+                    clone.next();
+                    if clone.peek() == Some(&'/') {
+                        while let Some(c) = self.peek() {
+                            if c == '\n' {
+                                break;
+                            }
+                            self.bump();
+                        }
+                    } else {
+                        return;
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Token, LangError> {
+        self.skip_trivia();
+        let span = self.span();
+        let Some(c) = self.bump() else {
+            return Ok(Token::new(TokenKind::Eof, span));
+        };
+        let kind = match c {
+            '(' => TokenKind::LParen,
+            ')' => TokenKind::RParen,
+            '{' => TokenKind::LBrace,
+            '}' => TokenKind::RBrace,
+            '[' => TokenKind::LBracket,
+            ']' => TokenKind::RBracket,
+            ',' => TokenKind::Comma,
+            ';' => TokenKind::Semi,
+            '+' => TokenKind::Plus,
+            '-' => TokenKind::Minus,
+            '*' => TokenKind::Star,
+            '/' => TokenKind::Slash,
+            '%' => TokenKind::Percent,
+            '=' => {
+                if self.eat('=') {
+                    TokenKind::EqEq
+                } else {
+                    TokenKind::Assign
+                }
+            }
+            '!' => {
+                if self.eat('=') {
+                    TokenKind::NotEq
+                } else {
+                    TokenKind::Bang
+                }
+            }
+            '<' => {
+                if self.eat('=') {
+                    TokenKind::Le
+                } else {
+                    TokenKind::Lt
+                }
+            }
+            '>' => {
+                if self.eat('=') {
+                    TokenKind::Ge
+                } else {
+                    TokenKind::Gt
+                }
+            }
+            '&' => {
+                if self.eat('&') {
+                    TokenKind::AndAnd
+                } else {
+                    TokenKind::Amp
+                }
+            }
+            '|' => {
+                if self.eat('|') {
+                    TokenKind::OrOr
+                } else {
+                    return Err(LangError::new(span, "expected `||`, found single `|`"));
+                }
+            }
+            '"' => self.string(span)?,
+            c if c.is_ascii_digit() => self.number(c, span)?,
+            c if c.is_ascii_alphabetic() || c == '_' => self.ident(c),
+            other => {
+                return Err(LangError::new(
+                    span,
+                    format!("unrecognized character `{other}`"),
+                ))
+            }
+        };
+        Ok(Token::new(kind, span))
+    }
+
+    fn string(&mut self, start: Span) -> Result<TokenKind, LangError> {
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(LangError::new(start, "unterminated string literal")),
+                Some('"') => return Ok(TokenKind::Str(s)),
+                Some('\\') => {
+                    let esc_span = self.span();
+                    match self.bump() {
+                        Some('n') => s.push('\n'),
+                        Some('t') => s.push('\t'),
+                        Some('r') => s.push('\r'),
+                        Some('\\') => s.push('\\'),
+                        Some('"') => s.push('"'),
+                        Some('0') => s.push('\0'),
+                        Some(other) => {
+                            return Err(LangError::new(
+                                esc_span,
+                                format!("unknown escape `\\{other}` in string literal"),
+                            ))
+                        }
+                        None => return Err(LangError::new(start, "unterminated string literal")),
+                    }
+                }
+                Some(c) => s.push(c),
+            }
+        }
+    }
+
+    fn number(&mut self, first: char, span: Span) -> Result<TokenKind, LangError> {
+        let mut digits = String::from(first);
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                digits.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        digits
+            .parse::<i64>()
+            .map(TokenKind::Int)
+            .map_err(|_| LangError::new(span, format!("integer literal `{digits}` out of range")))
+    }
+
+    fn ident(&mut self, first: char) -> TokenKind {
+        let mut name = String::from(first);
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                name.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        keyword(&name).unwrap_or(TokenKind::Ident(name))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_simple_statement() {
+        assert_eq!(
+            kinds("let x = 42;"),
+            vec![
+                TokenKind::Let,
+                TokenKind::Ident("x".into()),
+                TokenKind::Assign,
+                TokenKind::Int(42),
+                TokenKind::Semi,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_compound_operators() {
+        assert_eq!(
+            kinds("== != <= >= && || ! < > = & "),
+            vec![
+                TokenKind::EqEq,
+                TokenKind::NotEq,
+                TokenKind::Le,
+                TokenKind::Ge,
+                TokenKind::AndAnd,
+                TokenKind::OrOr,
+                TokenKind::Bang,
+                TokenKind::Lt,
+                TokenKind::Gt,
+                TokenKind::Assign,
+                TokenKind::Amp,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_string_with_escapes() {
+        assert_eq!(
+            kinds(r#""a\nb\"c""#),
+            vec![TokenKind::Str("a\nb\"c".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn skips_line_comments() {
+        assert_eq!(
+            kinds("1 // comment to end of line\n2"),
+            vec![TokenKind::Int(1), TokenKind::Int(2), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn slash_alone_is_division() {
+        assert_eq!(
+            kinds("8 / 2"),
+            vec![
+                TokenKind::Int(8),
+                TokenKind::Slash,
+                TokenKind::Int(2),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn tracks_line_and_column() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!(toks[0].span, Span::new(1, 1));
+        assert_eq!(toks[1].span, Span::new(2, 3));
+    }
+
+    #[test]
+    fn rejects_unterminated_string() {
+        let err = lex("\"abc").unwrap_err();
+        assert!(err.message().contains("unterminated"));
+    }
+
+    #[test]
+    fn rejects_unknown_escape() {
+        let err = lex(r#""\q""#).unwrap_err();
+        assert!(err.message().contains("unknown escape"));
+    }
+
+    #[test]
+    fn rejects_single_pipe() {
+        assert!(lex("a | b").is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_integer() {
+        let err = lex("99999999999999999999").unwrap_err();
+        assert!(err.message().contains("out of range"));
+    }
+
+    #[test]
+    fn rejects_unrecognized_character() {
+        let err = lex("let x = @;").unwrap_err();
+        assert!(err.message().contains("unrecognized"));
+    }
+
+    #[test]
+    fn keywords_vs_identifiers() {
+        assert_eq!(
+            kinds("iffy if format for"),
+            vec![
+                TokenKind::Ident("iffy".into()),
+                TokenKind::If,
+                TokenKind::Ident("format".into()),
+                TokenKind::For,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_input_is_just_eof() {
+        assert_eq!(kinds(""), vec![TokenKind::Eof]);
+        assert_eq!(kinds("   \n\t  "), vec![TokenKind::Eof]);
+    }
+}

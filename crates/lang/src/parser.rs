@@ -1,0 +1,730 @@
+//! Recursive-descent parser for Lx.
+
+use crate::ast::{
+    BinaryOp, Block, Expr, ExprKind, Function, Item, LValue, Program, Stmt, StmtKind, UnaryOp,
+};
+use crate::error::{LangError, Span};
+use crate::token::{Token, TokenKind};
+
+/// A recursive-descent parser over a lexed token stream.
+#[derive(Debug)]
+pub struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    /// Creates a parser over `tokens` (which must end with
+    /// [`TokenKind::Eof`], as produced by [`crate::lex`]).
+    pub fn new(tokens: Vec<Token>) -> Self {
+        debug_assert!(matches!(
+            tokens.last().map(|t| &t.kind),
+            Some(TokenKind::Eof)
+        ));
+        Parser { tokens, pos: 0 }
+    }
+
+    /// Parses a complete program.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LangError`] at the first syntax error.
+    pub fn parse_program(mut self) -> Result<Program, LangError> {
+        let mut items = Vec::new();
+        while !self.at(&TokenKind::Eof) {
+            items.push(self.item()?);
+        }
+        Ok(Program::new(items))
+    }
+
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn at(&self, kind: &TokenKind) -> bool {
+        &self.peek().kind == kind
+    }
+
+    fn bump(&mut self) -> Token {
+        let tok = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        tok
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.at(kind) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<Token, LangError> {
+        if self.at(&kind) {
+            Ok(self.bump())
+        } else {
+            let found = self.peek();
+            Err(LangError::new(
+                found.span,
+                format!("expected {kind}, found {}", found.kind),
+            ))
+        }
+    }
+
+    fn ident(&mut self) -> Result<(String, Span), LangError> {
+        let tok = self.bump();
+        match tok.kind {
+            TokenKind::Ident(name) => Ok((name, tok.span)),
+            other => Err(LangError::new(
+                tok.span,
+                format!("expected identifier, found {other}"),
+            )),
+        }
+    }
+
+    fn item(&mut self) -> Result<Item, LangError> {
+        let tok = self.peek().clone();
+        match tok.kind {
+            TokenKind::Fn => self.function().map(Item::Function),
+            TokenKind::Global => {
+                self.bump();
+                let (name, span) = self.ident()?;
+                self.expect(TokenKind::Assign)?;
+                let init = self.expr()?;
+                self.expect(TokenKind::Semi)?;
+                Ok(Item::Global { name, init, span })
+            }
+            other => Err(LangError::new(
+                tok.span,
+                format!("expected `fn` or `global` at top level, found {other}"),
+            )),
+        }
+    }
+
+    fn function(&mut self) -> Result<Function, LangError> {
+        let span = self.expect(TokenKind::Fn)?.span;
+        let (name, _) = self.ident()?;
+        self.expect(TokenKind::LParen)?;
+        let mut params = Vec::new();
+        if !self.at(&TokenKind::RParen) {
+            loop {
+                params.push(self.ident()?.0);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(TokenKind::RParen)?;
+        let body = self.block()?;
+        Ok(Function {
+            name,
+            params,
+            body,
+            span,
+        })
+    }
+
+    fn block(&mut self) -> Result<Block, LangError> {
+        self.expect(TokenKind::LBrace)?;
+        let mut stmts = Vec::new();
+        while !self.at(&TokenKind::RBrace) && !self.at(&TokenKind::Eof) {
+            stmts.push(self.stmt()?);
+        }
+        self.expect(TokenKind::RBrace)?;
+        Ok(Block::new(stmts))
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, LangError> {
+        let tok = self.peek().clone();
+        let span = tok.span;
+        match tok.kind {
+            TokenKind::Let => {
+                self.bump();
+                let (name, _) = self.ident()?;
+                self.expect(TokenKind::Assign)?;
+                let init = self.expr()?;
+                self.expect(TokenKind::Semi)?;
+                Ok(Stmt {
+                    kind: StmtKind::Let { name, init },
+                    span,
+                })
+            }
+            TokenKind::If => {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                let cond = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                let then_block = self.block()?;
+                let else_block = if self.eat(&TokenKind::Else) {
+                    if self.at(&TokenKind::If) {
+                        // `else if` chains: wrap the nested if in a block.
+                        let nested = self.stmt()?;
+                        Block::new(vec![nested])
+                    } else {
+                        self.block()?
+                    }
+                } else {
+                    Block::default()
+                };
+                Ok(Stmt {
+                    kind: StmtKind::If {
+                        cond,
+                        then_block,
+                        else_block,
+                    },
+                    span,
+                })
+            }
+            TokenKind::While => {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                let cond = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                let body = self.block()?;
+                Ok(Stmt {
+                    kind: StmtKind::While { cond, body },
+                    span,
+                })
+            }
+            TokenKind::For => {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                let init = if self.at(&TokenKind::Semi) {
+                    self.bump();
+                    None
+                } else {
+                    let s = self.simple_stmt_no_semi()?;
+                    self.expect(TokenKind::Semi)?;
+                    Some(Box::new(s))
+                };
+                let cond = if self.at(&TokenKind::Semi) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(TokenKind::Semi)?;
+                let step = if self.at(&TokenKind::RParen) {
+                    None
+                } else {
+                    Some(Box::new(self.simple_stmt_no_semi()?))
+                };
+                self.expect(TokenKind::RParen)?;
+                let body = self.block()?;
+                Ok(Stmt {
+                    kind: StmtKind::For {
+                        init,
+                        cond,
+                        step,
+                        body,
+                    },
+                    span,
+                })
+            }
+            TokenKind::Return => {
+                self.bump();
+                let value = if self.at(&TokenKind::Semi) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(TokenKind::Semi)?;
+                Ok(Stmt {
+                    kind: StmtKind::Return(value),
+                    span,
+                })
+            }
+            TokenKind::Break => {
+                self.bump();
+                self.expect(TokenKind::Semi)?;
+                Ok(Stmt {
+                    kind: StmtKind::Break,
+                    span,
+                })
+            }
+            TokenKind::Continue => {
+                self.bump();
+                self.expect(TokenKind::Semi)?;
+                Ok(Stmt {
+                    kind: StmtKind::Continue,
+                    span,
+                })
+            }
+            _ => {
+                let s = self.simple_stmt_no_semi()?;
+                self.expect(TokenKind::Semi)?;
+                Ok(s)
+            }
+        }
+    }
+
+    /// Parses an assignment, `let`, or expression statement without the
+    /// trailing semicolon (used in `for` headers and regular statements).
+    fn simple_stmt_no_semi(&mut self) -> Result<Stmt, LangError> {
+        let span = self.peek().span;
+        if self.at(&TokenKind::Let) {
+            self.bump();
+            let (name, _) = self.ident()?;
+            self.expect(TokenKind::Assign)?;
+            let init = self.expr()?;
+            return Ok(Stmt {
+                kind: StmtKind::Let { name, init },
+                span,
+            });
+        }
+        // Could be an assignment (`x = e`, `a[i] = e`) or an expression.
+        let expr = self.expr()?;
+        if self.at(&TokenKind::Assign) {
+            let target = match expr.kind {
+                ExprKind::Var(name) => LValue::Var(name),
+                ExprKind::Index { base, index } => match base.kind {
+                    ExprKind::Var(name) => LValue::Index { name, index },
+                    _ => {
+                        return Err(LangError::new(
+                            expr.span,
+                            "only variables and `var[index]` can be assigned",
+                        ))
+                    }
+                },
+                _ => {
+                    return Err(LangError::new(
+                        expr.span,
+                        "only variables and `var[index]` can be assigned",
+                    ))
+                }
+            };
+            self.bump(); // `=`
+            let value = self.expr()?;
+            Ok(Stmt {
+                kind: StmtKind::Assign { target, value },
+                span,
+            })
+        } else {
+            Ok(Stmt {
+                kind: StmtKind::Expr(expr),
+                span,
+            })
+        }
+    }
+
+    /// Entry point for expression parsing (lowest precedence: `||`).
+    pub(crate) fn expr(&mut self) -> Result<Expr, LangError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.and_expr()?;
+        while self.at(&TokenKind::OrOr) {
+            let span = self.bump().span;
+            let rhs = self.and_expr()?;
+            lhs = Expr::new(
+                ExprKind::Binary {
+                    op: BinaryOp::Or,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+                span,
+            );
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.cmp_expr()?;
+        while self.at(&TokenKind::AndAnd) {
+            let span = self.bump().span;
+            let rhs = self.cmp_expr()?;
+            lhs = Expr::new(
+                ExprKind::Binary {
+                    op: BinaryOp::And,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+                span,
+            );
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, LangError> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek().kind {
+            TokenKind::EqEq => BinaryOp::Eq,
+            TokenKind::NotEq => BinaryOp::Ne,
+            TokenKind::Lt => BinaryOp::Lt,
+            TokenKind::Le => BinaryOp::Le,
+            TokenKind::Gt => BinaryOp::Gt,
+            TokenKind::Ge => BinaryOp::Ge,
+            _ => return Ok(lhs),
+        };
+        let span = self.bump().span;
+        let rhs = self.add_expr()?;
+        Ok(Expr::new(
+            ExprKind::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            },
+            span,
+        ))
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Plus => BinaryOp::Add,
+                TokenKind::Minus => BinaryOp::Sub,
+                _ => return Ok(lhs),
+            };
+            let span = self.bump().span;
+            let rhs = self.mul_expr()?;
+            lhs = Expr::new(
+                ExprKind::Binary {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+                span,
+            );
+        }
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Star => BinaryOp::Mul,
+                TokenKind::Slash => BinaryOp::Div,
+                TokenKind::Percent => BinaryOp::Rem,
+                _ => return Ok(lhs),
+            };
+            let span = self.bump().span;
+            let rhs = self.unary_expr()?;
+            lhs = Expr::new(
+                ExprKind::Binary {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+                span,
+            );
+        }
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, LangError> {
+        let tok = self.peek().clone();
+        match tok.kind {
+            TokenKind::Minus => {
+                self.bump();
+                let operand = self.unary_expr()?;
+                Ok(Expr::new(
+                    ExprKind::Unary {
+                        op: UnaryOp::Neg,
+                        operand: Box::new(operand),
+                    },
+                    tok.span,
+                ))
+            }
+            TokenKind::Bang => {
+                self.bump();
+                let operand = self.unary_expr()?;
+                Ok(Expr::new(
+                    ExprKind::Unary {
+                        op: UnaryOp::Not,
+                        operand: Box::new(operand),
+                    },
+                    tok.span,
+                ))
+            }
+            TokenKind::Amp => {
+                self.bump();
+                let (name, _) = self.ident()?;
+                Ok(Expr::new(ExprKind::FuncRef(name), tok.span))
+            }
+            _ => self.postfix_expr(),
+        }
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr, LangError> {
+        let mut expr = self.primary_expr()?;
+        loop {
+            if self.at(&TokenKind::LBracket) {
+                let span = self.bump().span;
+                let index = self.expr()?;
+                self.expect(TokenKind::RBracket)?;
+                expr = Expr::new(
+                    ExprKind::Index {
+                        base: Box::new(expr),
+                        index: Box::new(index),
+                    },
+                    span,
+                );
+            } else if self.at(&TokenKind::LParen) {
+                // Indirect call on a non-name expression; direct calls are
+                // produced in `primary_expr`.
+                let span = self.bump().span;
+                let args = self.call_args()?;
+                expr = Expr::new(
+                    ExprKind::CallIndirect {
+                        callee: Box::new(expr),
+                        args,
+                    },
+                    span,
+                );
+            } else {
+                return Ok(expr);
+            }
+        }
+    }
+
+    fn call_args(&mut self) -> Result<Vec<Expr>, LangError> {
+        let mut args = Vec::new();
+        if !self.at(&TokenKind::RParen) {
+            loop {
+                args.push(self.expr()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(TokenKind::RParen)?;
+        Ok(args)
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, LangError> {
+        let tok = self.bump();
+        let span = tok.span;
+        match tok.kind {
+            TokenKind::Int(v) => Ok(Expr::new(ExprKind::Int(v), span)),
+            TokenKind::True => Ok(Expr::new(ExprKind::Int(1), span)),
+            TokenKind::False => Ok(Expr::new(ExprKind::Int(0), span)),
+            TokenKind::Str(s) => Ok(Expr::new(ExprKind::Str(s), span)),
+            TokenKind::Ident(name) => {
+                if self.at(&TokenKind::LParen) {
+                    self.bump();
+                    let args = self.call_args()?;
+                    Ok(Expr::new(ExprKind::Call { callee: name, args }, span))
+                } else {
+                    Ok(Expr::new(ExprKind::Var(name), span))
+                }
+            }
+            TokenKind::LParen => {
+                let inner = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(inner)
+            }
+            TokenKind::LBracket => {
+                let mut elems = Vec::new();
+                if !self.at(&TokenKind::RBracket) {
+                    loop {
+                        elems.push(self.expr()?);
+                        if !self.eat(&TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                }
+                self.expect(TokenKind::RBracket)?;
+                Ok(Expr::new(ExprKind::Array(elems), span))
+            }
+            other => Err(LangError::new(
+                span,
+                format!("expected expression, found {other}"),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn parses_empty_main() {
+        let p = parse("fn main() {}").unwrap();
+        let f = p.function("main").unwrap();
+        assert!(f.params.is_empty());
+        assert!(f.body.stmts.is_empty());
+    }
+
+    #[test]
+    fn parses_globals_and_functions() {
+        let p = parse("global g = 10; fn f(a, b) { return a + b; }").unwrap();
+        assert_eq!(p.globals().count(), 1);
+        let f = p.function("f").unwrap();
+        assert_eq!(f.params, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let p = parse("fn m() { let x = 1 + 2 * 3; }").unwrap();
+        let f = p.function("m").unwrap();
+        let StmtKind::Let { init, .. } = &f.body.stmts[0].kind else {
+            panic!("expected let");
+        };
+        let ExprKind::Binary { op, rhs, .. } = &init.kind else {
+            panic!("expected binary");
+        };
+        assert_eq!(*op, BinaryOp::Add);
+        assert!(matches!(
+            rhs.kind,
+            ExprKind::Binary {
+                op: BinaryOp::Mul,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn precedence_and_over_or() {
+        let p = parse("fn m() { let x = 1 || 0 && 0; }").unwrap();
+        let f = p.function("m").unwrap();
+        let StmtKind::Let { init, .. } = &f.body.stmts[0].kind else {
+            panic!()
+        };
+        assert!(matches!(
+            init.kind,
+            ExprKind::Binary {
+                op: BinaryOp::Or,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn parses_if_else_chain() {
+        let p = parse(
+            r#"fn m(x) {
+                if (x == 1) { return 1; }
+                else if (x == 2) { return 2; }
+                else { return 3; }
+            }"#,
+        )
+        .unwrap();
+        let f = p.function("m").unwrap();
+        let StmtKind::If { else_block, .. } = &f.body.stmts[0].kind else {
+            panic!()
+        };
+        assert_eq!(else_block.stmts.len(), 1);
+        assert!(matches!(else_block.stmts[0].kind, StmtKind::If { .. }));
+    }
+
+    #[test]
+    fn parses_for_loop_full_and_degenerate() {
+        let p =
+            parse("fn m(n) { for (let i = 0; i < n; i = i + 1) { write(1, str(i)); } }").unwrap();
+        let f = p.function("m").unwrap();
+        let StmtKind::For {
+            init, cond, step, ..
+        } = &f.body.stmts[0].kind
+        else {
+            panic!()
+        };
+        assert!(init.is_some() && cond.is_some() && step.is_some());
+
+        let p = parse("fn m() { for (;;) { break; } }").unwrap();
+        let f = p.function("m").unwrap();
+        let StmtKind::For {
+            init, cond, step, ..
+        } = &f.body.stmts[0].kind
+        else {
+            panic!()
+        };
+        assert!(init.is_none() && cond.is_none() && step.is_none());
+    }
+
+    #[test]
+    fn parses_indexed_assignment() {
+        let p = parse("fn m(a) { a[3] = 7; }").unwrap();
+        let f = p.function("m").unwrap();
+        assert!(matches!(
+            &f.body.stmts[0].kind,
+            StmtKind::Assign {
+                target: LValue::Index { .. },
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn rejects_assignment_to_call() {
+        let err = parse("fn m() { f() = 3; }").unwrap_err();
+        assert!(err.message().contains("assigned"));
+    }
+
+    #[test]
+    fn parses_function_reference_and_indirect_call() {
+        let p = parse("fn m(h) { let f = &h2; let r = f(1, 2); }").unwrap();
+        let f = p.function("m").unwrap();
+        let StmtKind::Let { init, .. } = &f.body.stmts[0].kind else {
+            panic!()
+        };
+        assert!(matches!(init.kind, ExprKind::FuncRef(_)));
+        let StmtKind::Let { init, .. } = &f.body.stmts[1].kind else {
+            panic!()
+        };
+        // `f(1, 2)` where f is a local parses as a *direct* Call node; the
+        // resolver reclassifies it as indirect when `f` is not a function.
+        assert!(matches!(init.kind, ExprKind::Call { .. }));
+    }
+
+    #[test]
+    fn parses_parenthesized_indirect_call() {
+        let p = parse("fn m(f) { (f)(3); }").unwrap();
+        let fun = p.function("m").unwrap();
+        let StmtKind::Expr(e) = &fun.body.stmts[0].kind else {
+            panic!()
+        };
+        assert!(matches!(e.kind, ExprKind::CallIndirect { .. }));
+    }
+
+    #[test]
+    fn parses_array_literal_and_indexing() {
+        let p = parse("fn m() { let a = [1, 2, 3]; let x = a[0]; }").unwrap();
+        let f = p.function("m").unwrap();
+        let StmtKind::Let { init, .. } = &f.body.stmts[0].kind else {
+            panic!()
+        };
+        assert!(matches!(&init.kind, ExprKind::Array(v) if v.len() == 3));
+    }
+
+    #[test]
+    fn true_false_are_int_sugar() {
+        let p = parse("fn m() { let a = true; let b = false; }").unwrap();
+        let f = p.function("m").unwrap();
+        let StmtKind::Let { init, .. } = &f.body.stmts[0].kind else {
+            panic!()
+        };
+        assert_eq!(init.kind, ExprKind::Int(1));
+    }
+
+    #[test]
+    fn error_mentions_expected_token() {
+        let err = parse("fn main( { }").unwrap_err();
+        assert!(err.message().contains("expected"));
+    }
+
+    #[test]
+    fn rejects_stray_top_level_tokens() {
+        assert!(parse("let x = 3;").is_err());
+    }
+
+    #[test]
+    fn nested_loops_and_breaks() {
+        let src = r#"
+            fn m(n, m2) {
+                for (let i = 0; i < n; i = i + 1) {
+                    let j = 0;
+                    while (j < m2) {
+                        if (j == 3) { break; }
+                        j = j + 1;
+                    }
+                }
+            }
+        "#;
+        assert!(parse(src).is_ok());
+    }
+}

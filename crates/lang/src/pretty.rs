@@ -1,0 +1,234 @@
+//! Pretty-printer: renders an AST back to parseable Lx source.
+//!
+//! Used by tests (round-trip checking) and by diagnostics in higher layers.
+
+use crate::ast::{Block, Expr, ExprKind, Item, LValue, Program, Stmt, StmtKind};
+use std::fmt::Write as _;
+
+/// Renders a program as Lx source text that re-parses to an equal AST.
+pub fn to_source(program: &Program) -> String {
+    let mut out = String::new();
+    for item in program.items() {
+        match item {
+            Item::Global { name, init, .. } => {
+                let _ = writeln!(out, "global {name} = {};", expr_str(init));
+            }
+            Item::Function(f) => {
+                let _ = writeln!(out, "fn {}({}) {{", f.name, f.params.join(", "));
+                block_body(&mut out, &f.body, 1);
+                out.push_str("}\n");
+            }
+        }
+    }
+    out
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("    ");
+    }
+}
+
+fn block_body(out: &mut String, block: &Block, level: usize) {
+    for stmt in &block.stmts {
+        stmt_str(out, stmt, level);
+    }
+}
+
+fn stmt_str(out: &mut String, stmt: &Stmt, level: usize) {
+    indent(out, level);
+    match &stmt.kind {
+        StmtKind::Let { name, init } => {
+            let _ = writeln!(out, "let {name} = {};", expr_str(init));
+        }
+        StmtKind::Assign { target, value } => {
+            let t = match target {
+                LValue::Var(n) => n.clone(),
+                LValue::Index { name, index } => format!("{name}[{}]", expr_str(index)),
+            };
+            let _ = writeln!(out, "{t} = {};", expr_str(value));
+        }
+        StmtKind::If {
+            cond,
+            then_block,
+            else_block,
+        } => {
+            let _ = writeln!(out, "if ({}) {{", expr_str(cond));
+            block_body(out, then_block, level + 1);
+            if else_block.stmts.is_empty() {
+                indent(out, level);
+                out.push_str("}\n");
+            } else {
+                indent(out, level);
+                out.push_str("} else {\n");
+                block_body(out, else_block, level + 1);
+                indent(out, level);
+                out.push_str("}\n");
+            }
+        }
+        StmtKind::While { cond, body } => {
+            let _ = writeln!(out, "while ({}) {{", expr_str(cond));
+            block_body(out, body, level + 1);
+            indent(out, level);
+            out.push_str("}\n");
+        }
+        StmtKind::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
+            out.push_str("for (");
+            if let Some(i) = init {
+                inline_simple_stmt(out, i);
+            }
+            out.push_str("; ");
+            if let Some(c) = cond {
+                out.push_str(&expr_str(c));
+            }
+            out.push_str("; ");
+            if let Some(s) = step {
+                inline_simple_stmt(out, s);
+            }
+            out.push_str(") {\n");
+            block_body(out, body, level + 1);
+            indent(out, level);
+            out.push_str("}\n");
+        }
+        StmtKind::Return(Some(e)) => {
+            let _ = writeln!(out, "return {};", expr_str(e));
+        }
+        StmtKind::Return(None) => out.push_str("return;\n"),
+        StmtKind::Break => out.push_str("break;\n"),
+        StmtKind::Continue => out.push_str("continue;\n"),
+        StmtKind::Expr(e) => {
+            let _ = writeln!(out, "{};", expr_str(e));
+        }
+    }
+}
+
+fn inline_simple_stmt(out: &mut String, stmt: &Stmt) {
+    match &stmt.kind {
+        StmtKind::Let { name, init } => {
+            let _ = write!(out, "let {name} = {}", expr_str(init));
+        }
+        StmtKind::Assign { target, value } => {
+            let t = match target {
+                LValue::Var(n) => n.clone(),
+                LValue::Index { name, index } => format!("{name}[{}]", expr_str(index)),
+            };
+            let _ = write!(out, "{t} = {}", expr_str(value));
+        }
+        StmtKind::Expr(e) => {
+            let _ = write!(out, "{}", expr_str(e));
+        }
+        other => {
+            // `for` headers can only contain simple statements by grammar.
+            unreachable!("non-simple statement in for header: {other:?}")
+        }
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\0' => out.push_str("\\0"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders an expression (fully parenthesized, so precedence is preserved).
+pub fn expr_str(e: &Expr) -> String {
+    match &e.kind {
+        ExprKind::Int(v) => v.to_string(),
+        ExprKind::Str(s) => format!("\"{}\"", escape(s)),
+        ExprKind::Var(n) => n.clone(),
+        ExprKind::FuncRef(n) => format!("&{n}"),
+        ExprKind::Array(elems) => {
+            let inner: Vec<_> = elems.iter().map(expr_str).collect();
+            format!("[{}]", inner.join(", "))
+        }
+        ExprKind::Unary { op, operand } => format!("({op}{})", expr_str(operand)),
+        ExprKind::Binary { op, lhs, rhs } => {
+            format!("({} {op} {})", expr_str(lhs), expr_str(rhs))
+        }
+        ExprKind::Index { base, index } => format!("{}[{}]", expr_str(base), expr_str(index)),
+        ExprKind::Call { callee, args } => {
+            let inner: Vec<_> = args.iter().map(expr_str).collect();
+            format!("{callee}({})", inner.join(", "))
+        }
+        ExprKind::CallIndirect { callee, args } => {
+            let inner: Vec<_> = args.iter().map(expr_str).collect();
+            format!("({})({})", expr_str(callee), inner.join(", "))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn strip_spans_program(p: &Program) -> String {
+        // Compare via a second pretty-print: span differences don't matter.
+        to_source(p)
+    }
+
+    #[test]
+    fn round_trips_representative_program() {
+        let src = r#"
+            global limit = 100;
+            fn raise(salary, rate) {
+                let fd = open("contract", 0);
+                let data = read(fd, 64);
+                close(fd);
+                return salary * int(data) / 100;
+            }
+            fn main() {
+                let total = 0;
+                for (let i = 0; i < limit; i = i + 1) {
+                    if (i % 2 == 0 && i != 4) {
+                        total = total + raise(i, 3);
+                    } else {
+                        total = total - 1;
+                    }
+                }
+                while (total > 0) {
+                    total = total / 2;
+                    if (total == 7) { break; }
+                }
+                let f = &raise;
+                send(connect("host"), str(total));
+            }
+        "#;
+        let once = parse(src).unwrap();
+        let printed = to_source(&once);
+        let twice = parse(&printed).unwrap();
+        assert_eq!(strip_spans_program(&once), strip_spans_program(&twice));
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let p = parse("fn main() { write(1, \"a\\n\\\"b\\\"\"); }").unwrap();
+        let printed = to_source(&p);
+        assert!(printed.contains("\\n"));
+        assert!(printed.contains("\\\""));
+        assert!(parse(&printed).is_ok());
+    }
+
+    #[test]
+    fn parenthesization_preserves_precedence() {
+        let p1 = parse("fn main() { let x = (1 + 2) * 3; }").unwrap();
+        let printed = to_source(&p1);
+        let p2 = parse(&printed).unwrap();
+        assert_eq!(to_source(&p1), to_source(&p2));
+    }
+}

@@ -1,0 +1,577 @@
+//! Name resolution and semantic checks for Lx.
+//!
+//! Resolution validates the program (unique definitions, bound names, builtin
+//! arities, `break`/`continue` placement) and performs one rewrite: a direct
+//! call `f(x)` where `f` is a *variable* rather than a function is
+//! reclassified as an indirect call, so later stages can rely on
+//! [`ExprKind::Call`] always naming a user function or builtin.
+
+use crate::ast::{Block, Expr, ExprKind, Function, Item, LValue, Program, Stmt, StmtKind};
+use crate::builtins::builtin;
+use crate::error::{LangError, Span};
+use std::collections::{HashMap, HashSet};
+
+/// A resolved, semantically valid Lx program.
+///
+/// Produced by [`resolve`]; consumed by the IR lowering in `ldx-ir`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResolvedProgram {
+    program: Program,
+    global_order: Vec<String>,
+}
+
+impl ResolvedProgram {
+    /// The underlying (rewritten) program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Global variable names in declaration order (their runtime slots).
+    pub fn global_order(&self) -> &[String] {
+        &self.global_order
+    }
+}
+
+/// Checks and rewrites a parsed program.
+///
+/// # Errors
+///
+/// Returns a [`LangError`] on duplicate definitions, unknown names, calls
+/// with wrong builtin/function arity, non-constant global initializers,
+/// `break`/`continue` outside loops, missing `main`, or `main` taking
+/// parameters.
+pub fn resolve(program: Program) -> Result<ResolvedProgram, LangError> {
+    let mut functions: HashMap<String, usize> = HashMap::new();
+    let mut globals: Vec<String> = Vec::new();
+    let mut global_set: HashSet<String> = HashSet::new();
+
+    for item in program.items() {
+        match item {
+            Item::Function(f) => {
+                if builtin(&f.name).is_some() {
+                    return Err(LangError::new(
+                        f.span,
+                        format!("function `{}` shadows a builtin", f.name),
+                    ));
+                }
+                if functions.insert(f.name.clone(), f.params.len()).is_some() {
+                    return Err(LangError::new(
+                        f.span,
+                        format!("duplicate function `{}`", f.name),
+                    ));
+                }
+                let mut seen = HashSet::new();
+                for p in &f.params {
+                    if !seen.insert(p.clone()) {
+                        return Err(LangError::new(
+                            f.span,
+                            format!("duplicate parameter `{p}` in `{}`", f.name),
+                        ));
+                    }
+                }
+            }
+            Item::Global { name, init, span } => {
+                if builtin(name).is_some() {
+                    return Err(LangError::new(
+                        *span,
+                        format!("global `{name}` shadows a builtin"),
+                    ));
+                }
+                if !global_set.insert(name.clone()) {
+                    return Err(LangError::new(*span, format!("duplicate global `{name}`")));
+                }
+                globals.push(name.clone());
+                check_const_expr(init)?;
+            }
+        }
+    }
+
+    for name in &globals {
+        if functions.contains_key(name) {
+            return Err(LangError::new(
+                Span::synthesized(),
+                format!("`{name}` is defined as both a global and a function"),
+            ));
+        }
+    }
+
+    match functions.get("main") {
+        None => {
+            return Err(LangError::new(
+                Span::synthesized(),
+                "program has no `main` function",
+            ))
+        }
+        Some(&arity) if arity != 0 => {
+            return Err(LangError::new(
+                Span::synthesized(),
+                "`main` must take no parameters",
+            ))
+        }
+        Some(_) => {}
+    }
+
+    let ctx = Ctx {
+        functions: &functions,
+        globals: &global_set,
+    };
+
+    let items = program
+        .items()
+        .iter()
+        .map(|item| match item {
+            Item::Global { .. } => Ok(item.clone()),
+            Item::Function(f) => {
+                let mut scopes = Scopes::new(&f.params);
+                let body = resolve_block(&f.body, &ctx, &mut scopes, 0)?;
+                Ok(Item::Function(Function {
+                    name: f.name.clone(),
+                    params: f.params.clone(),
+                    body,
+                    span: f.span,
+                }))
+            }
+        })
+        .collect::<Result<Vec<_>, LangError>>()?;
+
+    Ok(ResolvedProgram {
+        program: Program::new(items),
+        global_order: globals,
+    })
+}
+
+fn check_const_expr(e: &Expr) -> Result<(), LangError> {
+    match &e.kind {
+        ExprKind::Int(_) | ExprKind::Str(_) => Ok(()),
+        ExprKind::Unary { operand, .. } => check_const_expr(operand),
+        ExprKind::Array(elems) => {
+            for el in elems {
+                check_const_expr(el)?;
+            }
+            Ok(())
+        }
+        _ => Err(LangError::new(
+            e.span,
+            "global initializers must be constant expressions",
+        )),
+    }
+}
+
+struct Ctx<'a> {
+    functions: &'a HashMap<String, usize>,
+    globals: &'a HashSet<String>,
+}
+
+struct Scopes {
+    stack: Vec<HashSet<String>>,
+}
+
+impl Scopes {
+    fn new(params: &[String]) -> Self {
+        Scopes {
+            stack: vec![params.iter().cloned().collect()],
+        }
+    }
+
+    fn push(&mut self) {
+        self.stack.push(HashSet::new());
+    }
+
+    fn pop(&mut self) {
+        self.stack.pop();
+    }
+
+    fn declare(&mut self, name: &str, span: Span) -> Result<(), LangError> {
+        for scope in &self.stack {
+            if scope.contains(name) {
+                return Err(LangError::new(
+                    span,
+                    format!("`{name}` is already declared in an enclosing scope"),
+                ));
+            }
+        }
+        self.stack
+            .last_mut()
+            .expect("scope stack never empty")
+            .insert(name.to_string());
+        Ok(())
+    }
+
+    fn is_local(&self, name: &str) -> bool {
+        self.stack.iter().any(|s| s.contains(name))
+    }
+}
+
+fn resolve_block(
+    block: &Block,
+    ctx: &Ctx<'_>,
+    scopes: &mut Scopes,
+    loop_depth: u32,
+) -> Result<Block, LangError> {
+    scopes.push();
+    let stmts = block
+        .stmts
+        .iter()
+        .map(|s| resolve_stmt(s, ctx, scopes, loop_depth))
+        .collect::<Result<Vec<_>, _>>();
+    scopes.pop();
+    Ok(Block::new(stmts?))
+}
+
+fn resolve_stmt(
+    stmt: &Stmt,
+    ctx: &Ctx<'_>,
+    scopes: &mut Scopes,
+    loop_depth: u32,
+) -> Result<Stmt, LangError> {
+    let span = stmt.span;
+    let kind = match &stmt.kind {
+        StmtKind::Let { name, init } => {
+            let init = resolve_expr(init, ctx, scopes)?;
+            scopes.declare(name, span)?;
+            StmtKind::Let {
+                name: name.clone(),
+                init,
+            }
+        }
+        StmtKind::Assign { target, value } => {
+            let tname = match target {
+                LValue::Var(n) => n,
+                LValue::Index { name, .. } => name,
+            };
+            if !scopes.is_local(tname) && !ctx.globals.contains(tname) {
+                return Err(LangError::new(
+                    span,
+                    format!("assignment to undeclared variable `{tname}`"),
+                ));
+            }
+            let target = match target {
+                LValue::Var(n) => LValue::Var(n.clone()),
+                LValue::Index { name, index } => LValue::Index {
+                    name: name.clone(),
+                    index: Box::new(resolve_expr(index, ctx, scopes)?),
+                },
+            };
+            StmtKind::Assign {
+                target,
+                value: resolve_expr(value, ctx, scopes)?,
+            }
+        }
+        StmtKind::If {
+            cond,
+            then_block,
+            else_block,
+        } => StmtKind::If {
+            cond: resolve_expr(cond, ctx, scopes)?,
+            then_block: resolve_block(then_block, ctx, scopes, loop_depth)?,
+            else_block: resolve_block(else_block, ctx, scopes, loop_depth)?,
+        },
+        StmtKind::While { cond, body } => StmtKind::While {
+            cond: resolve_expr(cond, ctx, scopes)?,
+            body: resolve_block(body, ctx, scopes, loop_depth + 1)?,
+        },
+        StmtKind::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
+            // The `for` header introduces its own scope for the init `let`.
+            scopes.push();
+            let init = init
+                .as_ref()
+                .map(|s| resolve_stmt(s, ctx, scopes, loop_depth).map(Box::new))
+                .transpose()?;
+            let cond = cond
+                .as_ref()
+                .map(|c| resolve_expr(c, ctx, scopes))
+                .transpose()?;
+            let step = step
+                .as_ref()
+                .map(|s| resolve_stmt(s, ctx, scopes, loop_depth + 1).map(Box::new))
+                .transpose()?;
+            let body = resolve_block(body, ctx, scopes, loop_depth + 1)?;
+            scopes.pop();
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            }
+        }
+        StmtKind::Return(v) => StmtKind::Return(
+            v.as_ref()
+                .map(|e| resolve_expr(e, ctx, scopes))
+                .transpose()?,
+        ),
+        StmtKind::Break => {
+            if loop_depth == 0 {
+                return Err(LangError::new(span, "`break` outside of a loop"));
+            }
+            StmtKind::Break
+        }
+        StmtKind::Continue => {
+            if loop_depth == 0 {
+                return Err(LangError::new(span, "`continue` outside of a loop"));
+            }
+            StmtKind::Continue
+        }
+        StmtKind::Expr(e) => StmtKind::Expr(resolve_expr(e, ctx, scopes)?),
+    };
+    Ok(Stmt { kind, span })
+}
+
+fn resolve_expr(expr: &Expr, ctx: &Ctx<'_>, scopes: &mut Scopes) -> Result<Expr, LangError> {
+    let span = expr.span;
+    let kind = match &expr.kind {
+        ExprKind::Int(_) | ExprKind::Str(_) => expr.kind.clone(),
+        ExprKind::Var(name) => {
+            if scopes.is_local(name) || ctx.globals.contains(name) {
+                ExprKind::Var(name.clone())
+            } else if ctx.functions.contains_key(name) {
+                return Err(LangError::new(
+                    span,
+                    format!("function `{name}` used as a value; write `&{name}`"),
+                ));
+            } else {
+                return Err(LangError::new(span, format!("unknown variable `{name}`")));
+            }
+        }
+        ExprKind::FuncRef(name) => {
+            if !ctx.functions.contains_key(name) {
+                return Err(LangError::new(
+                    span,
+                    format!("`&{name}` does not name a function"),
+                ));
+            }
+            ExprKind::FuncRef(name.clone())
+        }
+        ExprKind::Array(elems) => ExprKind::Array(
+            elems
+                .iter()
+                .map(|e| resolve_expr(e, ctx, scopes))
+                .collect::<Result<Vec<_>, _>>()?,
+        ),
+        ExprKind::Unary { op, operand } => ExprKind::Unary {
+            op: *op,
+            operand: Box::new(resolve_expr(operand, ctx, scopes)?),
+        },
+        ExprKind::Binary { op, lhs, rhs } => ExprKind::Binary {
+            op: *op,
+            lhs: Box::new(resolve_expr(lhs, ctx, scopes)?),
+            rhs: Box::new(resolve_expr(rhs, ctx, scopes)?),
+        },
+        ExprKind::Index { base, index } => ExprKind::Index {
+            base: Box::new(resolve_expr(base, ctx, scopes)?),
+            index: Box::new(resolve_expr(index, ctx, scopes)?),
+        },
+        ExprKind::Call { callee, args } => {
+            let args = args
+                .iter()
+                .map(|a| resolve_expr(a, ctx, scopes))
+                .collect::<Result<Vec<_>, _>>()?;
+            if scopes.is_local(callee) || ctx.globals.contains(callee) {
+                // A variable used in call position: an indirect call.
+                ExprKind::CallIndirect {
+                    callee: Box::new(Expr::new(ExprKind::Var(callee.clone()), span)),
+                    args,
+                }
+            } else if let Some(&arity) = ctx.functions.get(callee) {
+                if args.len() != arity {
+                    return Err(LangError::new(
+                        span,
+                        format!("`{callee}` takes {arity} argument(s), {} given", args.len()),
+                    ));
+                }
+                ExprKind::Call {
+                    callee: callee.clone(),
+                    args,
+                }
+            } else if let Some(b) = builtin(callee) {
+                if args.len() != b.arity {
+                    return Err(LangError::new(
+                        span,
+                        format!(
+                            "builtin `{callee}` takes {} argument(s), {} given",
+                            b.arity,
+                            args.len()
+                        ),
+                    ));
+                }
+                ExprKind::Call {
+                    callee: callee.clone(),
+                    args,
+                }
+            } else {
+                return Err(LangError::new(span, format!("unknown function `{callee}`")));
+            }
+        }
+        ExprKind::CallIndirect { callee, args } => ExprKind::CallIndirect {
+            callee: Box::new(resolve_expr(callee, ctx, scopes)?),
+            args: args
+                .iter()
+                .map(|a| resolve_expr(a, ctx, scopes))
+                .collect::<Result<Vec<_>, _>>()?,
+        },
+    };
+    Ok(Expr { kind, span })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile;
+
+    #[test]
+    fn accepts_well_formed_program() {
+        let p = compile(
+            r#"
+            global total = 0;
+            fn helper(x) { return x * 2; }
+            fn main() {
+                let a = helper(21);
+                total = a;
+            }
+            "#,
+        )
+        .unwrap();
+        assert_eq!(p.global_order(), ["total"]);
+    }
+
+    #[test]
+    fn requires_main() {
+        let err = compile("fn helper() {}").unwrap_err();
+        assert!(err.message().contains("main"));
+    }
+
+    #[test]
+    fn main_must_be_nullary() {
+        let err = compile("fn main(x) {}").unwrap_err();
+        assert!(err.message().contains("no parameters"));
+    }
+
+    #[test]
+    fn rejects_unknown_variable() {
+        let err = compile("fn main() { let x = y; }").unwrap_err();
+        assert!(err.message().contains("unknown variable `y`"));
+    }
+
+    #[test]
+    fn rejects_unknown_function() {
+        let err = compile("fn main() { mystery(); }").unwrap_err();
+        assert!(err.message().contains("unknown function"));
+    }
+
+    #[test]
+    fn checks_user_function_arity() {
+        let err = compile("fn f(a, b) { return a; } fn main() { f(1); }").unwrap_err();
+        assert!(err.message().contains("takes 2 argument(s)"));
+    }
+
+    #[test]
+    fn checks_builtin_arity() {
+        let err = compile("fn main() { open(\"f\"); }").unwrap_err();
+        assert!(err.message().contains("takes 2 argument(s)"));
+    }
+
+    #[test]
+    fn rejects_duplicate_function() {
+        let err = compile("fn main() {} fn main() {}").unwrap_err();
+        assert!(err.message().contains("duplicate function"));
+    }
+
+    #[test]
+    fn rejects_duplicate_global() {
+        let err = compile("global g = 1; global g = 2; fn main() {}").unwrap_err();
+        assert!(err.message().contains("duplicate global"));
+    }
+
+    #[test]
+    fn rejects_function_shadowing_builtin() {
+        let err = compile("fn open(a, b) {} fn main() {}").unwrap_err();
+        assert!(err.message().contains("shadows a builtin"));
+    }
+
+    #[test]
+    fn rejects_nonconst_global_init() {
+        let err = compile("global g = getpid(); fn main() {}").unwrap_err();
+        assert!(err.message().contains("constant"));
+    }
+
+    #[test]
+    fn rejects_break_outside_loop() {
+        let err = compile("fn main() { break; }").unwrap_err();
+        assert!(err.message().contains("break"));
+    }
+
+    #[test]
+    fn allows_break_inside_loop() {
+        assert!(compile("fn main() { while (1) { break; } }").is_ok());
+    }
+
+    #[test]
+    fn rejects_continue_outside_loop() {
+        let err = compile("fn main() { continue; }").unwrap_err();
+        assert!(err.message().contains("continue"));
+    }
+
+    #[test]
+    fn variable_call_becomes_indirect() {
+        let p = compile(
+            r#"
+            fn double(x) { return x * 2; }
+            fn main() { let f = &double; let r = f(21); }
+            "#,
+        )
+        .unwrap();
+        let main = p.program().function("main").unwrap();
+        let StmtKind::Let { init, .. } = &main.body.stmts[1].kind else {
+            panic!()
+        };
+        assert!(matches!(init.kind, ExprKind::CallIndirect { .. }));
+    }
+
+    #[test]
+    fn function_name_as_value_needs_ampersand() {
+        let err = compile("fn f() {} fn main() { let x = f; }").unwrap_err();
+        assert!(err.message().contains("&f"));
+    }
+
+    #[test]
+    fn funcref_must_name_function() {
+        let err = compile("fn main() { let x = &nothing; }").unwrap_err();
+        assert!(err.message().contains("does not name a function"));
+    }
+
+    #[test]
+    fn rejects_shadowing_in_nested_scope() {
+        let err = compile("fn main() { let x = 1; if (x) { let x = 2; } }").unwrap_err();
+        assert!(err.message().contains("already declared"));
+    }
+
+    #[test]
+    fn sibling_scopes_may_reuse_names() {
+        assert!(
+            compile("fn main() { if (1) { let t = 1; } else { let t = 2; } let t = 3; }").is_ok()
+        );
+    }
+
+    #[test]
+    fn for_header_scope_is_confined() {
+        assert!(compile(
+            "fn main() { for (let i = 0; i < 3; i = i + 1) {} for (let i = 0; i < 2; i = i + 1) {} }"
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn assignment_to_undeclared_rejected() {
+        let err = compile("fn main() { x = 3; }").unwrap_err();
+        assert!(err.message().contains("undeclared"));
+    }
+
+    #[test]
+    fn global_assignment_allowed() {
+        assert!(compile("global g = 0; fn main() { g = 3; g[0] = 1; }").is_ok());
+    }
+}

@@ -1,0 +1,113 @@
+//! Shared global-variable storage.
+
+use crate::trap::Trap;
+use crate::value::{store_index, Value};
+use ldx_ir::{Const, GlobalId, IrProgram};
+use parking_lot::Mutex;
+
+/// Global variable slots shared by all Lx threads of one execution.
+///
+/// Each slot has its own lock, so distinct globals never contend; accesses
+/// to one slot are atomic at the *statement* level, while cross-statement
+/// races (read-modify-write without `lock()`) remain observable — exactly
+/// the "low-level data races" the paper cites as its false-positive source
+/// (§8.3, Table 4).
+#[derive(Debug)]
+pub struct Globals {
+    slots: Vec<Mutex<Value>>,
+}
+
+impl Globals {
+    /// Initializes globals from the program's constant initializers.
+    pub fn new(program: &IrProgram) -> Self {
+        Globals {
+            slots: program
+                .globals
+                .iter()
+                .map(|(_, init)| Mutex::new(const_to_value(init)))
+                .collect(),
+        }
+    }
+
+    /// Reads a global (cloning its value).
+    pub fn get(&self, id: GlobalId) -> Value {
+        self.slots[id.index()].lock().clone()
+    }
+
+    /// Writes a global.
+    pub fn set(&self, id: GlobalId, v: Value) {
+        *self.slots[id.index()].lock() = v;
+    }
+
+    /// Stores into an element of a global array, atomically.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Trap`] when the global is not an array or the index is out
+    /// of bounds.
+    pub fn store_index(&self, id: GlobalId, index: &Value, v: Value) -> Result<(), Trap> {
+        store_index(&mut self.slots[id.index()].lock(), index, v)
+    }
+
+    /// Number of global slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether there are no globals.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+}
+
+/// Converts an IR constant to a runtime value.
+pub fn const_to_value(c: &Const) -> Value {
+    match c {
+        Const::Int(v) => Value::Int(*v),
+        Const::Str(s) => Value::Str(s.clone()),
+        Const::Array(elems) => Value::Arr(elems.iter().map(const_to_value).collect()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldx_ir::lower;
+    use ldx_lang::compile;
+
+    #[test]
+    fn initializes_from_program() {
+        let p = lower(&compile("global a = 3; global b = [1, \"x\"]; fn main() {}").unwrap());
+        let g = Globals::new(&p);
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.get(GlobalId(0)), Value::Int(3));
+        assert_eq!(
+            g.get(GlobalId(1)),
+            Value::Arr(vec![Value::Int(1), Value::Str("x".into())])
+        );
+    }
+
+    #[test]
+    fn set_and_store_index() {
+        let p = lower(&compile("global a = [0, 0]; fn main() {}").unwrap());
+        let g = Globals::new(&p);
+        g.store_index(GlobalId(0), &Value::Int(1), Value::Int(5))
+            .unwrap();
+        assert_eq!(
+            g.get(GlobalId(0)),
+            Value::Arr(vec![Value::Int(0), Value::Int(5)])
+        );
+        g.set(GlobalId(0), Value::Int(9));
+        assert_eq!(g.get(GlobalId(0)), Value::Int(9));
+        assert!(g
+            .store_index(GlobalId(0), &Value::Int(0), Value::Int(1))
+            .is_err());
+    }
+
+    #[test]
+    fn empty_program_has_no_globals() {
+        let p = lower(&compile("fn main() {}").unwrap());
+        let g = Globals::new(&p);
+        assert!(g.is_empty());
+    }
+}

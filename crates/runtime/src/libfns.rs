@@ -1,0 +1,336 @@
+//! Pure library-function implementations.
+
+use crate::trap::Trap;
+use crate::value::Value;
+use ldx_lang::LibFn;
+
+/// Evaluates a library function (arity already validated by the resolver).
+///
+/// # Errors
+///
+/// Returns [`Trap`] on type misuse.
+pub fn eval_lib(lib: LibFn, args: &[Value]) -> Result<Value, Trap> {
+    match lib {
+        LibFn::Len => Ok(Value::Int(match &args[0] {
+            Value::Str(s) => s.chars().count() as i64,
+            Value::Arr(a) => a.len() as i64,
+            other => {
+                return Err(Trap::TypeError {
+                    expected: "string or array",
+                    found: other.type_name(),
+                })
+            }
+        })),
+        LibFn::Str => Ok(Value::Str(args[0].stringify())),
+        LibFn::Int => Ok(Value::Int(match &args[0] {
+            Value::Int(v) => *v,
+            Value::Str(s) => parse_int_prefix(s),
+            _ => 0,
+        })),
+        LibFn::Substr => {
+            let s = args[0].as_str()?;
+            let start = args[1].as_int()?.max(0) as usize;
+            let n = args[2].as_int()?.max(0) as usize;
+            Ok(Value::Str(s.chars().skip(start).take(n).collect()))
+        }
+        LibFn::Find => {
+            let hay = args[0].as_str()?;
+            let needle = args[1].as_str()?;
+            Ok(Value::Int(match hay.find(needle) {
+                Some(byte_idx) => hay[..byte_idx].chars().count() as i64,
+                None => -1,
+            }))
+        }
+        LibFn::Ord => {
+            let s = args[0].as_str()?;
+            let i = args[1].as_int()?;
+            let c = usize::try_from(i).ok().and_then(|i| s.chars().nth(i));
+            Ok(Value::Int(c.map(|c| c as i64).unwrap_or(0)))
+        }
+        LibFn::Chr => {
+            let i = args[0].as_int()?;
+            let c = u32::try_from(i)
+                .ok()
+                .and_then(char::from_u32)
+                .unwrap_or('?');
+            Ok(Value::Str(c.to_string()))
+        }
+        LibFn::Min => Ok(Value::Int(args[0].as_int()?.min(args[1].as_int()?))),
+        LibFn::Max => Ok(Value::Int(args[0].as_int()?.max(args[1].as_int()?))),
+        LibFn::Abs => Ok(Value::Int(args[0].as_int()?.wrapping_abs())),
+        LibFn::ArrayNew => {
+            let n = args[0].as_int()?.max(0) as usize;
+            if n > 1 << 24 {
+                return Err(Trap::TypeError {
+                    expected: "array size under 2^24",
+                    found: "larger allocation",
+                });
+            }
+            Ok(Value::Arr(vec![args[1].clone(); n]))
+        }
+        LibFn::Push => match &args[0] {
+            Value::Arr(a) => {
+                let mut out = a.clone();
+                out.push(args[1].clone());
+                Ok(Value::Arr(out))
+            }
+            other => Err(Trap::TypeError {
+                expected: "array",
+                found: other.type_name(),
+            }),
+        },
+        LibFn::Set => match &args[0] {
+            Value::Arr(a) => {
+                let i = args[1].as_int()?;
+                let idx = usize::try_from(i).map_err(|_| Trap::IndexOutOfBounds {
+                    index: i,
+                    len: a.len(),
+                })?;
+                if idx >= a.len() {
+                    return Err(Trap::IndexOutOfBounds {
+                        index: i,
+                        len: a.len(),
+                    });
+                }
+                let mut out = a.clone();
+                out[idx] = args[2].clone();
+                Ok(Value::Arr(out))
+            }
+            other => Err(Trap::TypeError {
+                expected: "array",
+                found: other.type_name(),
+            }),
+        },
+        LibFn::Sort => match &args[0] {
+            Value::Arr(a) => {
+                let mut out = a.clone();
+                if out.iter().all(|v| matches!(v, Value::Int(_))) {
+                    out.sort_by_key(|v| match v {
+                        Value::Int(i) => *i,
+                        _ => unreachable!(),
+                    });
+                } else {
+                    out.sort_by_key(Value::stringify);
+                }
+                Ok(Value::Arr(out))
+            }
+            other => Err(Trap::TypeError {
+                expected: "array",
+                found: other.type_name(),
+            }),
+        },
+        LibFn::Hash => {
+            // FNV-1a over the canonical string form.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in args[0].stringify().bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            Ok(Value::Int((h >> 1) as i64))
+        }
+        LibFn::Repeat => {
+            let s = args[0].as_str()?;
+            let n = args[1].as_int()?.max(0) as usize;
+            if s.len().saturating_mul(n) > 1 << 26 {
+                return Err(Trap::TypeError {
+                    expected: "repetition under 64MiB",
+                    found: "larger allocation",
+                });
+            }
+            Ok(Value::Str(s.repeat(n)))
+        }
+        LibFn::Split => {
+            let s = args[0].as_str()?;
+            let sep = args[1].as_str()?;
+            let parts: Vec<Value> = if sep.is_empty() {
+                s.chars().map(|c| Value::Str(c.to_string())).collect()
+            } else {
+                s.split(sep).map(|p| Value::Str(p.to_string())).collect()
+            };
+            Ok(Value::Arr(parts))
+        }
+        LibFn::StrJoin => match &args[0] {
+            Value::Arr(a) => {
+                let sep = args[1].as_str()?;
+                let parts: Vec<String> = a.iter().map(Value::stringify).collect();
+                Ok(Value::Str(parts.join(sep)))
+            }
+            other => Err(Trap::TypeError {
+                expected: "array",
+                found: other.type_name(),
+            }),
+        },
+        LibFn::Trim => Ok(Value::Str(args[0].as_str()?.trim().to_string())),
+        LibFn::Upper => Ok(Value::Str(args[0].as_str()?.to_ascii_uppercase())),
+        LibFn::Lower => Ok(Value::Str(args[0].as_str()?.to_ascii_lowercase())),
+    }
+}
+
+/// Parses an optional-sign decimal prefix (after leading whitespace);
+/// returns 0 when no digits are found, saturating on overflow.
+fn parse_int_prefix(s: &str) -> i64 {
+    let t = s.trim_start();
+    let (neg, digits) = match t.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, t.strip_prefix('+').unwrap_or(t)),
+    };
+    let mut val: i64 = 0;
+    let mut any = false;
+    for c in digits.chars() {
+        let Some(d) = c.to_digit(10) else { break };
+        any = true;
+        val = val.saturating_mul(10).saturating_add(i64::from(d));
+    }
+    if !any {
+        0
+    } else if neg {
+        -val
+    } else {
+        val
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn int(v: i64) -> Value {
+        Value::Int(v)
+    }
+    fn s(v: &str) -> Value {
+        Value::Str(v.into())
+    }
+    fn arr(v: Vec<Value>) -> Value {
+        Value::Arr(v)
+    }
+
+    #[test]
+    fn len_str_int() {
+        assert_eq!(eval_lib(LibFn::Len, &[s("héllo")]).unwrap(), int(5));
+        assert_eq!(eval_lib(LibFn::Len, &[arr(vec![int(1)])]).unwrap(), int(1));
+        assert!(eval_lib(LibFn::Len, &[int(3)]).is_err());
+        assert_eq!(eval_lib(LibFn::Str, &[int(-7)]).unwrap(), s("-7"));
+        assert_eq!(eval_lib(LibFn::Int, &[s("  42abc")]).unwrap(), int(42));
+        assert_eq!(eval_lib(LibFn::Int, &[s("-13")]).unwrap(), int(-13));
+        assert_eq!(eval_lib(LibFn::Int, &[s("abc")]).unwrap(), int(0));
+        assert_eq!(eval_lib(LibFn::Int, &[int(5)]).unwrap(), int(5));
+    }
+
+    #[test]
+    fn substr_clamps() {
+        assert_eq!(
+            eval_lib(LibFn::Substr, &[s("hello"), int(1), int(3)]).unwrap(),
+            s("ell")
+        );
+        assert_eq!(
+            eval_lib(LibFn::Substr, &[s("hello"), int(4), int(99)]).unwrap(),
+            s("o")
+        );
+        assert_eq!(
+            eval_lib(LibFn::Substr, &[s("hello"), int(9), int(2)]).unwrap(),
+            s("")
+        );
+        assert_eq!(
+            eval_lib(LibFn::Substr, &[s("hello"), int(-3), int(2)]).unwrap(),
+            s("he")
+        );
+    }
+
+    #[test]
+    fn find_ord_chr() {
+        assert_eq!(
+            eval_lib(LibFn::Find, &[s("banana"), s("na")]).unwrap(),
+            int(2)
+        );
+        assert_eq!(
+            eval_lib(LibFn::Find, &[s("banana"), s("xyz")]).unwrap(),
+            int(-1)
+        );
+        assert_eq!(eval_lib(LibFn::Ord, &[s("A"), int(0)]).unwrap(), int(65));
+        assert_eq!(eval_lib(LibFn::Ord, &[s("A"), int(9)]).unwrap(), int(0));
+        assert_eq!(eval_lib(LibFn::Chr, &[int(66)]).unwrap(), s("B"));
+        assert_eq!(eval_lib(LibFn::Chr, &[int(-1)]).unwrap(), s("?"));
+    }
+
+    #[test]
+    fn min_max_abs() {
+        assert_eq!(eval_lib(LibFn::Min, &[int(3), int(5)]).unwrap(), int(3));
+        assert_eq!(eval_lib(LibFn::Max, &[int(3), int(5)]).unwrap(), int(5));
+        assert_eq!(eval_lib(LibFn::Abs, &[int(-9)]).unwrap(), int(9));
+    }
+
+    #[test]
+    fn array_ops() {
+        let a = eval_lib(LibFn::ArrayNew, &[int(3), int(0)]).unwrap();
+        assert_eq!(a, arr(vec![int(0), int(0), int(0)]));
+        let b = eval_lib(LibFn::Push, &[a.clone(), int(7)]).unwrap();
+        assert_eq!(
+            eval_lib(LibFn::Len, std::slice::from_ref(&b)).unwrap(),
+            int(4)
+        );
+        let c = eval_lib(LibFn::Set, &[b, int(0), s("x")]).unwrap();
+        let Value::Arr(v) = &c else { panic!() };
+        assert_eq!(v[0], s("x"));
+        assert!(eval_lib(LibFn::Set, &[c, int(99), int(0)]).is_err());
+    }
+
+    #[test]
+    fn sort_numeric_and_lexicographic() {
+        let nums = arr(vec![int(3), int(-1), int(2)]);
+        assert_eq!(
+            eval_lib(LibFn::Sort, &[nums]).unwrap(),
+            arr(vec![int(-1), int(2), int(3)])
+        );
+        let strs = arr(vec![s("b"), s("a")]);
+        assert_eq!(
+            eval_lib(LibFn::Sort, &[strs]).unwrap(),
+            arr(vec![s("a"), s("b")])
+        );
+    }
+
+    #[test]
+    fn hash_is_deterministic_and_spreads() {
+        let h1 = eval_lib(LibFn::Hash, &[s("abc")]).unwrap();
+        let h2 = eval_lib(LibFn::Hash, &[s("abc")]).unwrap();
+        let h3 = eval_lib(LibFn::Hash, &[s("abd")]).unwrap();
+        assert_eq!(h1, h2);
+        assert_ne!(h1, h3);
+    }
+
+    #[test]
+    fn repeat_split_join_trim_case() {
+        assert_eq!(
+            eval_lib(LibFn::Repeat, &[s("ab"), int(3)]).unwrap(),
+            s("ababab")
+        );
+        assert_eq!(
+            eval_lib(LibFn::Split, &[s("a,b,,c"), s(",")]).unwrap(),
+            arr(vec![s("a"), s("b"), s(""), s("c")])
+        );
+        assert_eq!(
+            eval_lib(LibFn::Split, &[s("ab"), s("")]).unwrap(),
+            arr(vec![s("a"), s("b")])
+        );
+        assert_eq!(
+            eval_lib(LibFn::StrJoin, &[arr(vec![s("x"), int(2)]), s("-")]).unwrap(),
+            s("x-2")
+        );
+        assert_eq!(eval_lib(LibFn::Trim, &[s("  hi\n")]).unwrap(), s("hi"));
+        assert_eq!(eval_lib(LibFn::Upper, &[s("aBc")]).unwrap(), s("ABC"));
+        assert_eq!(eval_lib(LibFn::Lower, &[s("aBc")]).unwrap(), s("abc"));
+    }
+
+    #[test]
+    fn allocation_guards() {
+        assert!(eval_lib(LibFn::ArrayNew, &[int(1 << 30), int(0)]).is_err());
+        assert!(eval_lib(LibFn::Repeat, &[s("xxxxxxxx"), int(1 << 30)]).is_err());
+    }
+
+    #[test]
+    fn int_parse_saturates() {
+        assert_eq!(
+            eval_lib(LibFn::Int, &[s("99999999999999999999999")]).unwrap(),
+            int(i64::MAX)
+        );
+    }
+}

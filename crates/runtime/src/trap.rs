@@ -1,0 +1,151 @@
+//! Runtime traps (Lx program faults and resource-limit hits).
+
+use std::error::Error;
+use std::fmt;
+
+/// A fatal condition during Lx execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Trap {
+    /// An operator or builtin received the wrong type.
+    TypeError {
+        /// What was required.
+        expected: &'static str,
+        /// What was found.
+        found: &'static str,
+    },
+    /// Integer division or remainder by zero.
+    DivisionByZero,
+    /// An array/string index was out of range.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: i64,
+        /// The container length.
+        len: usize,
+    },
+    /// An indirect call's target took a different number of arguments.
+    ArityMismatch {
+        /// The callee's name.
+        callee: String,
+        /// Expected parameter count.
+        expected: usize,
+        /// Provided argument count.
+        given: usize,
+    },
+    /// An indirect call through a non-function value.
+    NotCallable {
+        /// The value's type.
+        found: &'static str,
+    },
+    /// `spawn`'s first argument must be a function reference taking one
+    /// parameter.
+    BadSpawnTarget {
+        /// Description of the problem.
+        detail: String,
+    },
+    /// `join` on an unknown or already-joined thread id.
+    BadJoin {
+        /// The offending tid.
+        tid: i64,
+    },
+    /// `longjmp` without a live `setjmp`.
+    LongjmpWithoutSetjmp,
+    /// The per-thread step budget was exhausted (runaway loop guard).
+    StepLimitExceeded {
+        /// The configured limit.
+        limit: u64,
+    },
+    /// The activation stack grew past the configured limit.
+    StackOverflow {
+        /// The configured limit.
+        limit: usize,
+    },
+    /// A virtual OS interface misuse (wraps [`ldx_vos::VosError`]).
+    Vos {
+        /// The rendered error.
+        message: String,
+    },
+    /// The dual-execution engine aborted this execution (e.g. its peer
+    /// trapped, or the analysis decided to stop early).
+    Aborted {
+        /// Why.
+        reason: String,
+    },
+    /// A thread panicked at the Rust level (collected at join).
+    ThreadPanicked,
+}
+
+impl fmt::Display for Trap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Trap::TypeError { expected, found } => {
+                write!(f, "type error: expected {expected}, found {found}")
+            }
+            Trap::DivisionByZero => write!(f, "division by zero"),
+            Trap::IndexOutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for length {len}")
+            }
+            Trap::ArityMismatch {
+                callee,
+                expected,
+                given,
+            } => write!(
+                f,
+                "`{callee}` takes {expected} argument(s), {given} given in indirect call"
+            ),
+            Trap::NotCallable { found } => write!(f, "cannot call a {found}"),
+            Trap::BadSpawnTarget { detail } => write!(f, "bad spawn target: {detail}"),
+            Trap::BadJoin { tid } => write!(f, "join on unknown thread {tid}"),
+            Trap::LongjmpWithoutSetjmp => write!(f, "longjmp without a live setjmp"),
+            Trap::StepLimitExceeded { limit } => {
+                write!(f, "step limit of {limit} exceeded")
+            }
+            Trap::StackOverflow { limit } => {
+                write!(f, "activation stack exceeded {limit} frames")
+            }
+            Trap::Vos { message } => write!(f, "virtual OS misuse: {message}"),
+            Trap::Aborted { reason } => write!(f, "execution aborted: {reason}"),
+            Trap::ThreadPanicked => write!(f, "an Lx thread panicked internally"),
+        }
+    }
+}
+
+impl Error for Trap {}
+
+impl From<ldx_vos::VosError> for Trap {
+    fn from(e: ldx_vos::VosError) -> Self {
+        Trap::Vos {
+            message: e.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let traps = [
+            Trap::TypeError {
+                expected: "integer",
+                found: "string",
+            },
+            Trap::DivisionByZero,
+            Trap::IndexOutOfBounds { index: 5, len: 2 },
+            Trap::StepLimitExceeded { limit: 10 },
+            Trap::Aborted {
+                reason: "peer trapped".into(),
+            },
+        ];
+        for t in traps {
+            assert!(!t.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn vos_error_converts() {
+        let e = ldx_vos::VosError::Unsupported { syscall: "spawn" };
+        let t: Trap = e.into();
+        assert!(matches!(t, Trap::Vos { .. }));
+    }
+}

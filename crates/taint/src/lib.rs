@@ -1,0 +1,298 @@
+//! Dynamic taint-tracking baselines for the LDX reproduction.
+//!
+//! The paper (§8.3, Table 3) compares LDX against LIBDFT and TaintGrind —
+//! instruction-level dynamic data-flow trackers. This crate provides
+//! faithful *behavioral* stand-ins over the same Lx IR and virtual OS: the
+//! same source/sink specifications as `ldx-dualex`, three propagation
+//! policies, and a [`TaintReport`] with the tainted-sink counts Table 3
+//! tabulates.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use ldx_taint::{taint_execute, TaintPolicy};
+//! use ldx_dualex::{SinkSpec, SourceSpec};
+//! use ldx_vos::{PeerBehavior, VosConfig};
+//!
+//! let program = Arc::new(ldx_ir::lower(&ldx_lang::compile(r#"
+//!     fn main() {
+//!         let s = read(open("/secret", 0), 8);
+//!         send(connect("out"), s);        // direct data flow
+//!     }
+//! "#)?));
+//! let world = VosConfig::new().file("/secret", "k").peer("out", PeerBehavior::Echo);
+//! let report = taint_execute(
+//!     &program, &world,
+//!     &[SourceSpec::file("/secret")], &SinkSpec::NetworkOut,
+//!     TaintPolicy::TaintGrindLike,
+//! );
+//! assert!(report.any_tainted());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod engine;
+mod tval;
+
+pub use engine::{taint_execute, TaintPolicy, TaintReport};
+pub use tval::{Labels, TVal};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldx_dualex::{SinkSpec, SourceMatcher, SourceSpec};
+    use ldx_vos::{PeerBehavior, VosConfig};
+    use std::sync::Arc;
+
+    fn build(src: &str) -> Arc<ldx_ir::IrProgram> {
+        Arc::new(ldx_ir::lower(&ldx_lang::compile(src).unwrap()))
+    }
+
+    fn world_with_secret(secret: &str) -> VosConfig {
+        VosConfig::new()
+            .file("/secret", secret)
+            .peer("out", PeerBehavior::Echo)
+    }
+
+    fn run(
+        program: &Arc<ldx_ir::IrProgram>,
+        world: &VosConfig,
+        policy: TaintPolicy,
+    ) -> TaintReport {
+        taint_execute(
+            program,
+            world,
+            &[SourceSpec::file("/secret")],
+            &SinkSpec::NetworkOut,
+            policy,
+        )
+    }
+
+    #[test]
+    fn direct_data_flow_tainted_by_all_policies() {
+        let p = build(
+            r#"fn main() {
+                let s = read(open("/secret", 0), 8);
+                send(connect("out"), s);
+            }"#,
+        );
+        let w = world_with_secret("abc");
+        for policy in [
+            TaintPolicy::LibDftLike,
+            TaintPolicy::TaintGrindLike,
+            TaintPolicy::DataAndControl,
+        ] {
+            let r = run(&p, &w, policy);
+            assert!(r.any_tainted(), "{policy:?}");
+            assert_eq!(r.total_sink_instances, 1);
+        }
+    }
+
+    #[test]
+    fn arithmetic_propagation() {
+        let p = build(
+            r#"fn main() {
+                let s = int(read(open("/secret", 0), 8));
+                let derived = (s * 3 + 7) % 100;
+                send(connect("out"), str(derived));
+            }"#,
+        );
+        let r = run(&p, &world_with_secret("41"), TaintPolicy::LibDftLike);
+        assert!(r.any_tainted());
+    }
+
+    #[test]
+    fn control_dependence_missed_by_data_only_policies() {
+        // The paper's key discriminator (its Fig. 1(b)): the secret flows
+        // to the output only through a branch.
+        let p = build(
+            r#"fn main() {
+                let s = read(open("/secret", 0), 8);
+                let msg = "low";
+                if (s == "A") { msg = "high"; }
+                send(connect("out"), msg);
+            }"#,
+        );
+        let w = world_with_secret("A");
+        assert!(!run(&p, &w, TaintPolicy::LibDftLike).any_tainted());
+        assert!(!run(&p, &w, TaintPolicy::TaintGrindLike).any_tainted());
+        assert!(run(&p, &w, TaintPolicy::DataAndControl).any_tainted());
+    }
+
+    #[test]
+    fn libdft_gap_on_string_library() {
+        // Propagation through substr: TaintGrind keeps the label, the
+        // LIBDFT emulation drops it (paper: LIBDFT ⊂ TaintGrind).
+        let p = build(
+            r#"fn main() {
+                let s = read(open("/secret", 0), 16);
+                let part = substr(s, 0, 4);
+                send(connect("out"), part);
+            }"#,
+        );
+        let w = world_with_secret("classified");
+        assert!(run(&p, &w, TaintPolicy::TaintGrindLike).any_tainted());
+        assert!(!run(&p, &w, TaintPolicy::LibDftLike).any_tainted());
+    }
+
+    #[test]
+    fn taint_through_globals_and_arrays() {
+        let p = build(
+            r#"
+            global stash = [0, 0];
+            fn main() {
+                let s = int(read(open("/secret", 0), 4));
+                stash[1] = s;
+                send(connect("out"), str(stash[1]));
+            }
+            "#,
+        );
+        let r = run(&p, &world_with_secret("7"), TaintPolicy::TaintGrindLike);
+        assert!(r.any_tainted());
+    }
+
+    #[test]
+    fn untainted_output_stays_clean() {
+        let p = build(
+            r#"fn main() {
+                let s = read(open("/secret", 0), 8);
+                send(connect("out"), "constant");
+            }"#,
+        );
+        for policy in [TaintPolicy::LibDftLike, TaintPolicy::TaintGrindLike] {
+            let r = run(&p, &world_with_secret("x"), policy);
+            assert!(!r.any_tainted());
+            assert_eq!(r.total_sink_instances, 1);
+        }
+    }
+
+    #[test]
+    fn taint_through_function_calls() {
+        let p = build(
+            r#"
+            fn process(x) { return x + x; }
+            fn main() {
+                let s = read(open("/secret", 0), 8);
+                send(connect("out"), process(s));
+            }
+            "#,
+        );
+        assert!(run(&p, &world_with_secret("ab"), TaintPolicy::LibDftLike).any_tainted());
+    }
+
+    #[test]
+    fn taint_through_indirect_calls_and_threads() {
+        let p = build(
+            r#"
+            global acc = "";
+            fn worker(x) { acc = acc + x; return 0; }
+            fn main() {
+                let s = read(open("/secret", 0), 8);
+                let t = spawn(&worker, s);
+                join(t);
+                send(connect("out"), acc);
+            }
+            "#,
+        );
+        assert!(run(&p, &world_with_secret("zz"), TaintPolicy::TaintGrindLike).any_tainted());
+    }
+
+    #[test]
+    fn source_site_matching() {
+        let p = build(
+            r#"
+            fn main() {
+                let a = time();
+                let b = time();
+                send(connect("out"), str(a) + str(b));
+            }
+            "#,
+        );
+        let w = VosConfig::new().peer("out", PeerBehavior::Echo);
+        let r = taint_execute(
+            &p,
+            &w,
+            &[SourceSpec {
+                matcher: SourceMatcher::SyscallKind(ldx_lang::Syscall::Time),
+                mutation: ldx_dualex::Mutation::OffByOne,
+            }],
+            &SinkSpec::NetworkOut,
+            TaintPolicy::LibDftLike,
+        );
+        assert!(r.any_tainted());
+    }
+
+    #[test]
+    fn sink_site_spec_counts_only_listed_sites() {
+        let p = build(
+            r#"
+            fn critical(v) { write(3, str(v)); return 0; }
+            fn main() {
+                let s = int(read(open("/secret", 0), 4));
+                critical(s);
+                write(3, "unrelated");
+            }
+            "#,
+        );
+        let w = VosConfig::new().file("/secret", "9");
+        let r = taint_execute(
+            &p,
+            &w,
+            &[SourceSpec::file("/secret")],
+            &SinkSpec::Sites(vec![("critical".into(), 0)]),
+            TaintPolicy::TaintGrindLike,
+        );
+        assert_eq!(r.total_sink_instances, 1);
+        assert_eq!(r.tainted_sink_instances, 1);
+    }
+
+    #[test]
+    fn control_scope_closes_at_join() {
+        // After the join point, assignments are no longer control-tainted.
+        let p = build(
+            r#"fn main() {
+                let s = read(open("/secret", 0), 8);
+                let x = 0;
+                if (s == "A") { x = 1; }
+                let clean = 5;
+                send(connect("out"), str(clean));
+            }"#,
+        );
+        let r = run(&p, &world_with_secret("A"), TaintPolicy::DataAndControl);
+        assert!(!r.any_tainted(), "assignment after the join must be clean");
+    }
+
+    #[test]
+    fn loops_propagate_taint_data_only() {
+        let p = build(
+            r#"fn main() {
+                let s = int(read(open("/secret", 0), 4));
+                let acc = 0;
+                for (let i = 0; i < 3; i = i + 1) {
+                    acc = acc + s;
+                }
+                send(connect("out"), str(acc));
+            }"#,
+        );
+        assert!(run(&p, &world_with_secret("5"), TaintPolicy::LibDftLike).any_tainted());
+    }
+
+    #[test]
+    fn instrumented_programs_run_identically() {
+        let src = r#"fn main() {
+            let s = read(open("/secret", 0), 8);
+            if (len(s) > 2) { write(3, "pad"); }
+            send(connect("out"), s);
+        }"#;
+        let plain = build(src);
+        let instrumented = Arc::new(
+            ldx_instrument::instrument(&ldx_ir::lower(&ldx_lang::compile(src).unwrap()))
+                .into_program(),
+        );
+        let w = world_with_secret("abc");
+        let r1 = run(&plain, &w, TaintPolicy::TaintGrindLike);
+        let r2 = run(&instrumented, &w, TaintPolicy::TaintGrindLike);
+        assert_eq!(r1.tainted_sink_instances, r2.tainted_sink_instances);
+        assert_eq!(r1.total_sink_instances, r2.total_sink_instances);
+    }
+}

@@ -1,0 +1,122 @@
+//! Tainted values: runtime values carrying source label sets.
+
+use ldx_ir::FuncId;
+use ldx_runtime::Value;
+
+/// A set of source labels (bit per source; up to 64 sources).
+pub type Labels = u64;
+
+/// A value with taint labels. Arrays carry both per-element labels and a
+/// whole-array label (index taint merges into the array label on store).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TVal {
+    /// Tainted integer.
+    Int(i64, Labels),
+    /// Tainted string (single label set for the whole string).
+    Str(String, Labels),
+    /// Tainted array.
+    Arr(Vec<TVal>, Labels),
+    /// Tainted function reference.
+    Func(FuncId, Labels),
+}
+
+impl TVal {
+    /// An untainted zero.
+    pub fn zero() -> TVal {
+        TVal::Int(0, 0)
+    }
+
+    /// Lifts an untainted runtime value.
+    pub fn from_value(v: &Value, labels: Labels) -> TVal {
+        match v {
+            Value::Int(i) => TVal::Int(*i, labels),
+            Value::Str(s) => TVal::Str(s.clone(), labels),
+            Value::Arr(a) => TVal::Arr(
+                a.iter().map(|e| TVal::from_value(e, labels)).collect(),
+                labels,
+            ),
+            Value::Func(f) => TVal::Func(*f, labels),
+        }
+    }
+
+    /// Drops the taint, yielding the plain value.
+    pub fn to_value(&self) -> Value {
+        match self {
+            TVal::Int(i, _) => Value::Int(*i),
+            TVal::Str(s, _) => Value::Str(s.clone()),
+            TVal::Arr(a, _) => Value::Arr(a.iter().map(TVal::to_value).collect()),
+            TVal::Func(f, _) => Value::Func(*f),
+        }
+    }
+
+    /// The value's own labels (for arrays: the array-level labels).
+    pub fn labels(&self) -> Labels {
+        match self {
+            TVal::Int(_, l) | TVal::Str(_, l) | TVal::Arr(_, l) | TVal::Func(_, l) => *l,
+        }
+    }
+
+    /// The union of all labels reachable in the value (array elements too).
+    pub fn deep_labels(&self) -> Labels {
+        match self {
+            TVal::Arr(a, l) => a.iter().fold(*l, |acc, e| acc | e.deep_labels()),
+            other => other.labels(),
+        }
+    }
+
+    /// Returns the value with `labels` OR-ed in (shallow).
+    pub fn with_labels(mut self, labels: Labels) -> TVal {
+        match &mut self {
+            TVal::Int(_, l) | TVal::Str(_, l) | TVal::Arr(_, l) | TVal::Func(_, l) => {
+                *l |= labels;
+            }
+        }
+        self
+    }
+
+    /// Truthiness of the underlying value.
+    pub fn truthy(&self) -> bool {
+        self.to_value().truthy()
+    }
+
+    /// The underlying integer, if any.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            TVal::Int(i, _) => Some(*i),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_preserves_value() {
+        let v = Value::Arr(vec![Value::Int(1), Value::Str("x".into())]);
+        let t = TVal::from_value(&v, 0b10);
+        assert_eq!(t.to_value(), v);
+        assert_eq!(t.labels(), 0b10);
+        assert_eq!(t.deep_labels(), 0b10);
+    }
+
+    #[test]
+    fn with_labels_unions() {
+        let t = TVal::Int(3, 0b01).with_labels(0b10);
+        assert_eq!(t.labels(), 0b11);
+    }
+
+    #[test]
+    fn deep_labels_cover_elements() {
+        let t = TVal::Arr(vec![TVal::Int(1, 0b100), TVal::Int(2, 0)], 0b001);
+        assert_eq!(t.labels(), 0b001);
+        assert_eq!(t.deep_labels(), 0b101);
+    }
+
+    #[test]
+    fn truthiness_matches_value() {
+        assert!(TVal::Str("x".into(), 0).truthy());
+        assert!(!TVal::Int(0, 7).truthy());
+    }
+}

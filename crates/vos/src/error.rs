@@ -1,0 +1,59 @@
+//! Virtual OS error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// A *misuse* of the virtual OS interface (wrong argument type or an
+/// unsupported syscall routed here).
+///
+/// Ordinary failures a Unix program expects — missing file, bad descriptor —
+/// are **not** errors; they surface as `-1` / `""` return values exactly
+/// like errno-style C interfaces, because Lx programs test for them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VosError {
+    /// An argument had the wrong type (e.g. a string where an fd int is
+    /// expected). Indicates a bug in the Lx program; the runtime traps.
+    BadArgument {
+        /// The syscall's name.
+        syscall: &'static str,
+        /// Description of the problem.
+        detail: String,
+    },
+    /// A syscall that the virtual OS does not implement was routed to it
+    /// (thread and process control are handled by the runtime instead).
+    Unsupported {
+        /// The syscall's name.
+        syscall: &'static str,
+    },
+}
+
+impl fmt::Display for VosError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VosError::BadArgument { syscall, detail } => {
+                write!(f, "bad argument to `{syscall}`: {detail}")
+            }
+            VosError::Unsupported { syscall } => {
+                write!(f, "syscall `{syscall}` is not handled by the virtual OS")
+            }
+        }
+    }
+}
+
+impl Error for VosError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = VosError::BadArgument {
+            syscall: "open",
+            detail: "flags must be an integer".into(),
+        };
+        assert!(e.to_string().contains("open"));
+        let u = VosError::Unsupported { syscall: "spawn" };
+        assert!(u.to_string().contains("spawn"));
+    }
+}

@@ -1,0 +1,161 @@
+//! Scripted network peers and clients.
+//!
+//! The paper evaluates on network programs (nginx, lynx, ngircd, …) whose
+//! remote ends we cannot reproduce; each remote is replaced by a
+//! deterministic script (see DESIGN.md substitution table). Peers are the
+//! hosts a program `connect`s to; clients are the scripted request streams
+//! a server program `accept`s.
+
+use crate::config::PeerBehavior;
+use std::collections::BTreeMap;
+
+/// Runtime state of one outbound peer (a host the program connects to).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeerState {
+    behavior: PeerBehavior,
+    /// Everything the program has sent to this host, per connection.
+    pub sent: Vec<String>,
+    /// Position in a `Script` behavior.
+    script_pos: usize,
+    /// Pending bytes the program can `recv`.
+    pending: String,
+}
+
+impl PeerState {
+    /// Creates peer state from its configured behavior.
+    pub fn new(behavior: PeerBehavior) -> Self {
+        PeerState {
+            behavior,
+            sent: Vec::new(),
+            script_pos: 0,
+            pending: String::new(),
+        }
+    }
+
+    /// Handles a `send` from the program; may queue response bytes.
+    pub fn on_send(&mut self, data: &str) {
+        self.sent.push(data.to_string());
+        match &self.behavior {
+            PeerBehavior::Echo => self.pending.push_str(data),
+            PeerBehavior::Script(_) => {}
+            PeerBehavior::Respond(map) => {
+                if let Some(resp) = map.get(data) {
+                    self.pending.push_str(resp);
+                }
+            }
+        }
+    }
+
+    /// Handles a `recv` of up to `n` bytes; returns `""` at end of stream.
+    pub fn on_recv(&mut self, n: usize) -> String {
+        if self.pending.is_empty() {
+            if let PeerBehavior::Script(lines) = &self.behavior {
+                if self.script_pos < lines.len() {
+                    self.pending.push_str(&lines[self.script_pos]);
+                    self.script_pos += 1;
+                }
+            }
+        }
+        take_prefix(&mut self.pending, n)
+    }
+}
+
+/// Takes up to `n` characters (by char boundary) off the front of `s`.
+fn take_prefix(s: &mut String, n: usize) -> String {
+    let end = s.char_indices().nth(n).map(|(i, _)| i).unwrap_or(s.len());
+    let head: String = s[..end].to_string();
+    s.drain(..end);
+    head
+}
+
+/// Runtime state of one scripted inbound client connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientConn {
+    /// Bytes the server can still `recv` from this client.
+    pub pending: String,
+    /// Everything the server `send`s back.
+    pub responses: Vec<String>,
+}
+
+/// All network state: outbound peers plus per-port accept queues.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Net {
+    /// Peers by host name.
+    pub peers: BTreeMap<String, PeerState>,
+    /// Scripted client requests not yet accepted, per port.
+    pub backlog: BTreeMap<i64, Vec<String>>,
+    /// Accepted client connections (socket side), appended in accept order.
+    pub clients: Vec<ClientConn>,
+}
+
+impl Net {
+    /// Accepts the next scripted client on `port`; returns its index into
+    /// `clients`, or `None` if the backlog is empty or the port unknown.
+    pub fn accept(&mut self, port: i64) -> Option<usize> {
+        let queue = self.backlog.get_mut(&port)?;
+        if queue.is_empty() {
+            return None;
+        }
+        let request = queue.remove(0);
+        self.clients.push(ClientConn {
+            pending: request,
+            responses: Vec::new(),
+        });
+        Some(self.clients.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn echo_peer_echoes() {
+        let mut p = PeerState::new(PeerBehavior::Echo);
+        p.on_send("hello");
+        assert_eq!(p.on_recv(3), "hel");
+        assert_eq!(p.on_recv(10), "lo");
+        assert_eq!(p.on_recv(10), "");
+        assert_eq!(p.sent, vec!["hello"]);
+    }
+
+    #[test]
+    fn script_peer_ignores_sends_and_plays_lines() {
+        let mut p = PeerState::new(PeerBehavior::Script(vec!["first".into(), "second".into()]));
+        p.on_send("anything");
+        assert_eq!(p.on_recv(16), "first");
+        assert_eq!(p.on_recv(3), "sec");
+        assert_eq!(p.on_recv(16), "ond");
+        assert_eq!(p.on_recv(16), "");
+    }
+
+    #[test]
+    fn respond_peer_matches_requests() {
+        let mut map = BTreeMap::new();
+        map.insert("GET /".to_string(), "index".to_string());
+        let mut p = PeerState::new(PeerBehavior::Respond(map));
+        p.on_send("GET /");
+        assert_eq!(p.on_recv(16), "index");
+        p.on_send("GET /missing");
+        assert_eq!(p.on_recv(16), "");
+    }
+
+    #[test]
+    fn accept_pops_backlog_in_order() {
+        let mut net = Net::default();
+        net.backlog.insert(80, vec!["req1".into(), "req2".into()]);
+        let a = net.accept(80).unwrap();
+        let b = net.accept(80).unwrap();
+        assert_eq!(net.clients[a].pending, "req1");
+        assert_eq!(net.clients[b].pending, "req2");
+        assert_eq!(net.accept(80), None);
+        assert_eq!(net.accept(99), None);
+    }
+
+    #[test]
+    fn take_prefix_respects_char_boundaries() {
+        let mut s = "héllo".to_string();
+        assert_eq!(take_prefix(&mut s, 2), "hé");
+        assert_eq!(s, "llo");
+    }
+}

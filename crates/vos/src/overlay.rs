@@ -1,0 +1,293 @@
+//! The slave's copy-on-divergence world.
+//!
+//! When the dual executions diverge, the slave executes its misaligned
+//! syscalls *independently* — but it must not interfere with the master's
+//! world, and it should observe the pre-divergence state (which lives in
+//! the master, because the slave skipped its aligned outputs). The paper
+//! (§7) solves this with resource tainting and cloning: "When a tainted
+//! resource is accessed by the other execution, LDX will create a copy of
+//! the related resource(s) so that the master and the slave operate on
+//! their own copies, without causing interference."
+//!
+//! [`SlaveVos`] implements that: it owns a private [`VosState`] built from
+//! the same configuration, and on the *first decoupled access* to a path or
+//! peer it refreshes that resource from the master's live world. All
+//! subsequent accesses stay private.
+
+use crate::config::VosConfig;
+use crate::error::VosError;
+use crate::fs::normalize_path;
+use crate::state::{SysArg, SysRet, VosState};
+use crate::world::Vos;
+use ldx_lang::Syscall;
+use parking_lot::Mutex;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// The slave execution's private overlay world.
+#[derive(Debug)]
+pub struct SlaveVos {
+    master: Arc<Vos>,
+    own: Mutex<OverlayState>,
+}
+
+#[derive(Debug)]
+struct OverlayState {
+    state: VosState,
+    /// Paths already cloned from (or reconciled with) the master.
+    copied_paths: HashSet<String>,
+    /// Peers already cloned.
+    copied_peers: HashSet<String>,
+}
+
+impl SlaveVos {
+    /// First descriptor the overlay hands out: a high range disjoint from
+    /// master-issued descriptors, so a decoupled `open` can never collide
+    /// with a master descriptor the slave program still holds.
+    pub const FD_START: i64 = 1_000_003;
+
+    /// Creates the overlay over `master`, with `config` as the fallback
+    /// initial world (the same configuration the master was built from,
+    /// possibly with mutated inputs).
+    pub fn new(master: Arc<Vos>, config: &VosConfig) -> Self {
+        SlaveVos {
+            master,
+            own: Mutex::new(OverlayState {
+                state: VosState::build_with_fd_start(config, Self::FD_START),
+                copied_paths: HashSet::new(),
+                copied_peers: HashSet::new(),
+            }),
+        }
+    }
+
+    /// Executes a *decoupled* syscall against the private world, cloning
+    /// the touched resource from the master on first access.
+    ///
+    /// # Errors
+    ///
+    /// See [`VosState::syscall`].
+    pub fn syscall(&self, sys: Syscall, args: &[SysArg]) -> Result<SysRet, VosError> {
+        let mut own = self.own.lock();
+        match sys {
+            Syscall::Open | Syscall::Stat | Syscall::Unlink | Syscall::Readdir | Syscall::Mkdir => {
+                if let Some(SysArg::Str(path)) = args.first() {
+                    let path = path.clone();
+                    self.ensure_path(&mut own, &path);
+                }
+            }
+            Syscall::Rename => {
+                if let (Some(SysArg::Str(from)), Some(SysArg::Str(to))) =
+                    (args.first(), args.get(1))
+                {
+                    let (from, to) = (from.clone(), to.clone());
+                    self.ensure_path(&mut own, &from);
+                    self.ensure_path(&mut own, &to);
+                }
+            }
+            Syscall::Connect => {
+                if let Some(SysArg::Str(host)) = args.first() {
+                    let host = host.clone();
+                    self.ensure_peer(&mut own, &host);
+                }
+            }
+            // Reads/writes/sends go through descriptors the overlay itself
+            // issued, so the backing resource was already ensured at
+            // open/connect time. Time/random/pid/accept use private state.
+            _ => {}
+        }
+        own.state.syscall(sys, args)
+    }
+
+    /// Marks `path` as diverged *without* refreshing it from the master —
+    /// used when the divergence happens on the slave side first (e.g. the
+    /// slave creates a file the master never will).
+    pub fn pin_path(&self, path: &str) {
+        let mut own = self.own.lock();
+        let key = normalize_path(path).join("/");
+        own.copied_paths.insert(key);
+    }
+
+    /// Runs `f` with shared access to the private state (inspection).
+    pub fn with_state<R>(&self, f: impl FnOnce(&VosState) -> R) -> R {
+        f(&self.own.lock().state)
+    }
+
+    /// Private-world file contents.
+    pub fn file_contents(&self, path: &str) -> Option<String> {
+        self.own.lock().state.file_contents(path)
+    }
+
+    fn ensure_path(&self, own: &mut OverlayState, path: &str) {
+        let key = normalize_path(path).join("/");
+        if !own.copied_paths.insert(key) {
+            return;
+        }
+        match self.master.clone_node(path) {
+            Some(node) => {
+                own.state.install_node(path, node);
+            }
+            None => {
+                // The master does not have it (any more): tombstone the
+                // configured fallback so the worlds agree about absence.
+                own.state.remove_node(path);
+            }
+        }
+    }
+
+    fn ensure_peer(&self, own: &mut OverlayState, host: &str) {
+        if !own.copied_peers.insert(host.to_string()) {
+            return;
+        }
+        if let Some(peer) = self.master.peer_snapshot(host) {
+            own.state.install_peer(host, peer);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PeerBehavior;
+
+    fn sa(v: &str) -> SysArg {
+        SysArg::Str(v.into())
+    }
+    fn ia(v: i64) -> SysArg {
+        SysArg::Int(v)
+    }
+
+    fn setup() -> (Arc<Vos>, SlaveVos) {
+        let cfg = VosConfig::new()
+            .file("/shared.txt", "from-config")
+            .peer("host", PeerBehavior::Script(vec!["r1".into(), "r2".into()]));
+        let master = Arc::new(Vos::new(&cfg));
+        let slave = SlaveVos::new(Arc::clone(&master), &cfg);
+        (master, slave)
+    }
+
+    #[test]
+    fn first_access_sees_masters_current_content() {
+        let (master, slave) = setup();
+        // The master wrote to the file before the divergence.
+        let SysRet::Int(fd) = master
+            .syscall(Syscall::Open, &[sa("/shared.txt"), ia(1)])
+            .unwrap()
+        else {
+            panic!()
+        };
+        master
+            .syscall(Syscall::Write, &[ia(fd), sa("master-write")])
+            .unwrap();
+        // The slave's decoupled read sees the master's content, not the
+        // stale configured one.
+        let SysRet::Int(sfd) = slave
+            .syscall(Syscall::Open, &[sa("/shared.txt"), ia(0)])
+            .unwrap()
+        else {
+            panic!()
+        };
+        let SysRet::Str(data) = slave.syscall(Syscall::Read, &[ia(sfd), ia(64)]).unwrap() else {
+            panic!()
+        };
+        assert_eq!(data, "master-write");
+    }
+
+    #[test]
+    fn slave_writes_never_reach_master() {
+        let (master, slave) = setup();
+        let SysRet::Int(fd) = slave
+            .syscall(Syscall::Open, &[sa("/shared.txt"), ia(1)])
+            .unwrap()
+        else {
+            panic!()
+        };
+        slave
+            .syscall(Syscall::Write, &[ia(fd), sa("slave-only")])
+            .unwrap();
+        assert_eq!(slave.file_contents("/shared.txt").unwrap(), "slave-only");
+        assert_eq!(master.file_contents("/shared.txt").unwrap(), "from-config");
+    }
+
+    #[test]
+    fn clone_happens_once() {
+        let (master, slave) = setup();
+        // First access clones.
+        slave
+            .syscall(Syscall::Open, &[sa("/shared.txt"), ia(0)])
+            .unwrap();
+        // Master changes afterwards...
+        let SysRet::Int(fd) = master
+            .syscall(Syscall::Open, &[sa("/shared.txt"), ia(1)])
+            .unwrap()
+        else {
+            panic!()
+        };
+        master
+            .syscall(Syscall::Write, &[ia(fd), sa("late")])
+            .unwrap();
+        // ...but the slave's copy is already pinned.
+        assert_eq!(slave.file_contents("/shared.txt").unwrap(), "from-config");
+    }
+
+    #[test]
+    fn master_deletion_tombstones_slave_fallback() {
+        let (master, slave) = setup();
+        master
+            .syscall(Syscall::Unlink, &[sa("/shared.txt")])
+            .unwrap();
+        assert_eq!(
+            slave
+                .syscall(Syscall::Open, &[sa("/shared.txt"), ia(0)])
+                .unwrap(),
+            SysRet::Int(-1),
+            "slave must agree the file is gone"
+        );
+    }
+
+    #[test]
+    fn pinned_paths_are_not_refreshed() {
+        let (master, slave) = setup();
+        slave.pin_path("/shared.txt");
+        let SysRet::Int(fd) = master
+            .syscall(Syscall::Open, &[sa("/shared.txt"), ia(1)])
+            .unwrap()
+        else {
+            panic!()
+        };
+        master
+            .syscall(Syscall::Write, &[ia(fd), sa("master-change")])
+            .unwrap();
+        let SysRet::Int(sfd) = slave
+            .syscall(Syscall::Open, &[sa("/shared.txt"), ia(0)])
+            .unwrap()
+        else {
+            panic!()
+        };
+        let SysRet::Str(data) = slave.syscall(Syscall::Read, &[ia(sfd), ia(64)]).unwrap() else {
+            panic!()
+        };
+        assert_eq!(data, "from-config", "pinned path keeps slave's own view");
+    }
+
+    #[test]
+    fn peer_state_cloned_from_master_position() {
+        let (master, slave) = setup();
+        // Master consumed the first scripted line.
+        let SysRet::Int(ms) = master.syscall(Syscall::Connect, &[sa("host")]).unwrap() else {
+            panic!()
+        };
+        master.syscall(Syscall::Recv, &[ia(ms), ia(16)]).unwrap();
+        // Slave connects decoupled: it continues from the master's script
+        // position (r2), not from the beginning.
+        let SysRet::Int(ss) = slave.syscall(Syscall::Connect, &[sa("host")]).unwrap() else {
+            panic!()
+        };
+        let SysRet::Str(got) = slave.syscall(Syscall::Recv, &[ia(ss), ia(16)]).unwrap() else {
+            panic!()
+        };
+        assert_eq!(got, "r2");
+        // And the slave's sends do not reach the master's transcript.
+        slave.syscall(Syscall::Send, &[ia(ss), sa("x")]).unwrap();
+        assert!(master.sent_to("host").is_empty());
+    }
+}

@@ -1,0 +1,746 @@
+//! The mutable state of a virtual world and its syscall operations.
+
+use crate::config::VosConfig;
+use crate::error::VosError;
+use crate::fs::{Fs, Node};
+use crate::net::{Net, PeerState};
+use ldx_lang::Syscall;
+
+/// A syscall argument as seen by the virtual OS.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SysArg {
+    /// An integer argument (fd, size, flags, port…).
+    Int(i64),
+    /// A string argument (path, data, host…).
+    Str(String),
+}
+
+impl SysArg {
+    fn as_int(&self, syscall: &'static str) -> Result<i64, VosError> {
+        match self {
+            SysArg::Int(v) => Ok(*v),
+            SysArg::Str(s) => Err(VosError::BadArgument {
+                syscall,
+                detail: format!("expected integer, got string {s:?}"),
+            }),
+        }
+    }
+
+    fn as_str(&self, syscall: &'static str) -> Result<&str, VosError> {
+        match self {
+            SysArg::Str(s) => Ok(s),
+            SysArg::Int(v) => Err(VosError::BadArgument {
+                syscall,
+                detail: format!("expected string, got integer {v}"),
+            }),
+        }
+    }
+}
+
+/// A syscall result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SysRet {
+    /// An integer result (`-1` conventionally signals failure).
+    Int(i64),
+    /// A string result (`""` conventionally signals end-of-stream).
+    Str(String),
+}
+
+/// One open file descriptor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum FdEntry {
+    File {
+        path: String,
+        pos: usize,
+        writable: bool,
+    },
+    Peer {
+        host: String,
+    },
+    Client {
+        index: usize,
+    },
+    Closed,
+}
+
+/// The complete state of one virtual world.
+///
+/// Usually owned by a [`crate::Vos`] (thread-safe wrapper); exposed so the
+/// slave overlay can hold its own private copy.
+#[derive(Debug, Clone)]
+pub struct VosState {
+    fs: Fs,
+    net: Net,
+    fds: Vec<FdEntry>,
+    /// First descriptor number this world hands out (3 by default; the
+    /// slave overlay uses a disjoint high range so its descriptors never
+    /// collide with master-issued ones the program still holds).
+    fd_start: i64,
+    clock: i64,
+    clock_step: i64,
+    rng: u64,
+    pid: i64,
+    /// Total syscalls executed against this world (for statistics).
+    pub syscall_count: u64,
+}
+
+impl VosState {
+    /// Builds the initial world described by `config`.
+    pub fn build(config: &VosConfig) -> Self {
+        Self::build_with_fd_start(config, 3)
+    }
+
+    /// Like [`VosState::build`], with a custom first descriptor number.
+    pub fn build_with_fd_start(config: &VosConfig, fd_start: i64) -> Self {
+        let mut fs = Fs::new();
+        for dir in &config.dirs {
+            fs.mkdir(dir);
+        }
+        for (path, contents) in &config.files {
+            fs.insert(path, Node::File(contents.clone()));
+        }
+        let mut net = Net::default();
+        for (host, behavior) in &config.peers {
+            net.peers
+                .insert(host.clone(), PeerState::new(behavior.clone()));
+        }
+        for (port, requests) in &config.listen {
+            net.backlog.insert(*port, requests.clone());
+        }
+        VosState {
+            fs,
+            net,
+            fds: Vec::new(),
+            fd_start: fd_start.max(3),
+            clock: config.clock_start,
+            clock_step: config.clock_step,
+            rng: config.rng_seed | 1,
+            pid: config.pid,
+            syscall_count: 0,
+        }
+    }
+
+    fn alloc_fd(&mut self, entry: FdEntry) -> i64 {
+        // Reuse closed slots to keep descriptor numbers small, like Unix.
+        for (i, slot) in self.fds.iter_mut().enumerate() {
+            if *slot == FdEntry::Closed {
+                *slot = entry;
+                return i as i64 + self.fd_start;
+            }
+        }
+        self.fds.push(entry);
+        self.fds.len() as i64 + self.fd_start - 1
+    }
+
+    fn fd_entry(&mut self, fd: i64) -> Option<&mut FdEntry> {
+        let idx = usize::try_from(fd - self.fd_start).ok()?;
+        match self.fds.get_mut(idx) {
+            Some(e) if *e != FdEntry::Closed => Some(e),
+            _ => None,
+        }
+    }
+
+    /// Executes a syscall against this world.
+    ///
+    /// Descriptors 0–2 behave like stdio: writes succeed (content is
+    /// captured in the `/dev/std{out,err}` pseudo-files), reads return `""`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VosError`] only on argument-type misuse or when asked to
+    /// run a syscall the virtual OS does not own (`spawn`, `join`, `lock`,
+    /// `unlock`, `exit`, `setjmp`, `longjmp` — those belong to the
+    /// runtime).
+    pub fn syscall(&mut self, sys: Syscall, args: &[SysArg]) -> Result<SysRet, VosError> {
+        self.syscall_count += 1;
+        match sys {
+            Syscall::Open => {
+                let path = args[0].as_str("open")?.to_string();
+                let flags = args[1].as_int("open")?;
+                match flags {
+                    0 => {
+                        // Read-only: file must exist.
+                        match self.fs.get(&path) {
+                            Some(Node::File(_)) => Ok(SysRet::Int(self.alloc_fd(FdEntry::File {
+                                path,
+                                pos: 0,
+                                writable: false,
+                            }))),
+                            _ => Ok(SysRet::Int(-1)),
+                        }
+                    }
+                    1 | 2 => {
+                        // Write (truncate) or append: create if missing.
+                        if matches!(self.fs.get(&path), Some(Node::Dir(_))) {
+                            return Ok(SysRet::Int(-1));
+                        }
+                        let append = flags == 2;
+                        if (!append || self.fs.get(&path).is_none())
+                            && !self.fs.insert(&path, Node::File(String::new()))
+                        {
+                            return Ok(SysRet::Int(-1));
+                        }
+                        let pos = self
+                            .fs
+                            .get(&path)
+                            .and_then(Node::as_file)
+                            .map(|d| d.chars().count())
+                            .unwrap_or(0);
+                        Ok(SysRet::Int(self.alloc_fd(FdEntry::File {
+                            path,
+                            pos,
+                            writable: true,
+                        })))
+                    }
+                    _ => Ok(SysRet::Int(-1)),
+                }
+            }
+            Syscall::Read => {
+                let fd = args[0].as_int("read")?;
+                let n = args[1].as_int("read")?.max(0) as usize;
+                if (0..=2).contains(&fd) {
+                    return Ok(SysRet::Str(String::new()));
+                }
+                let Some(entry) = self.fd_entry(fd) else {
+                    return Ok(SysRet::Str(String::new()));
+                };
+                match entry {
+                    FdEntry::File { path, pos, .. } => {
+                        let path = path.clone();
+                        let start = *pos;
+                        let data = match self.fs.get(&path) {
+                            Some(Node::File(data)) => data.clone(),
+                            _ => String::new(),
+                        };
+                        let chunk = read_chars(&data, start, n);
+                        let advanced = chunk.chars().count();
+                        if let Some(FdEntry::File { pos, .. }) = self.fd_entry(fd) {
+                            *pos = start + advanced;
+                        }
+                        Ok(SysRet::Str(chunk))
+                    }
+                    FdEntry::Peer { host } => {
+                        let host = host.clone();
+                        let out = self
+                            .net
+                            .peers
+                            .get_mut(&host)
+                            .map(|p| p.on_recv(n))
+                            .unwrap_or_default();
+                        Ok(SysRet::Str(out))
+                    }
+                    FdEntry::Client { index } => {
+                        let index = *index;
+                        let conn = &mut self.net.clients[index];
+                        let chunk = take_chars(&mut conn.pending, n);
+                        Ok(SysRet::Str(chunk))
+                    }
+                    FdEntry::Closed => Ok(SysRet::Str(String::new())),
+                }
+            }
+            Syscall::Write => {
+                let fd = args[0].as_int("write")?;
+                let data = args[1].as_str("write")?.to_string();
+                if (0..=2).contains(&fd) {
+                    let path = if fd == 2 {
+                        "/dev/stderr"
+                    } else {
+                        "/dev/stdout"
+                    };
+                    self.append_file(path, &data);
+                    return Ok(SysRet::Int(data.chars().count() as i64));
+                }
+                let Some(entry) = self.fd_entry(fd) else {
+                    return Ok(SysRet::Int(-1));
+                };
+                match entry {
+                    FdEntry::File { path, writable, .. } => {
+                        if !*writable {
+                            return Ok(SysRet::Int(-1));
+                        }
+                        let path = path.clone();
+                        self.append_file(&path, &data);
+                        Ok(SysRet::Int(data.chars().count() as i64))
+                    }
+                    FdEntry::Peer { host } => {
+                        let host = host.clone();
+                        if let Some(p) = self.net.peers.get_mut(&host) {
+                            p.on_send(&data);
+                            Ok(SysRet::Int(data.chars().count() as i64))
+                        } else {
+                            Ok(SysRet::Int(-1))
+                        }
+                    }
+                    FdEntry::Client { index } => {
+                        let index = *index;
+                        self.net.clients[index].responses.push(data.clone());
+                        Ok(SysRet::Int(data.chars().count() as i64))
+                    }
+                    FdEntry::Closed => Ok(SysRet::Int(-1)),
+                }
+            }
+            Syscall::Close => {
+                let fd = args[0].as_int("close")?;
+                if let Some(entry) = self.fd_entry(fd) {
+                    *entry = FdEntry::Closed;
+                    Ok(SysRet::Int(0))
+                } else {
+                    Ok(SysRet::Int(-1))
+                }
+            }
+            Syscall::Seek => {
+                let fd = args[0].as_int("seek")?;
+                let to = args[1].as_int("seek")?.max(0) as usize;
+                match self.fd_entry(fd) {
+                    Some(FdEntry::File { pos, .. }) => {
+                        *pos = to;
+                        Ok(SysRet::Int(0))
+                    }
+                    _ => Ok(SysRet::Int(-1)),
+                }
+            }
+            Syscall::Stat => {
+                let path = args[0].as_str("stat")?;
+                match self.fs.get(path) {
+                    Some(Node::File(data)) => Ok(SysRet::Int(data.chars().count() as i64)),
+                    Some(Node::Dir(_)) => Ok(SysRet::Int(0)),
+                    None => Ok(SysRet::Int(-1)),
+                }
+            }
+            Syscall::Mkdir => {
+                let path = args[0].as_str("mkdir")?;
+                Ok(SysRet::Int(if self.fs.mkdir(path) { 0 } else { -1 }))
+            }
+            Syscall::Unlink => {
+                let path = args[0].as_str("unlink")?;
+                Ok(SysRet::Int(if self.fs.remove(path).is_some() {
+                    0
+                } else {
+                    -1
+                }))
+            }
+            Syscall::Rename => {
+                let from = args[0].as_str("rename")?;
+                let to = args[1].as_str("rename")?.to_string();
+                Ok(SysRet::Int(if self.fs.rename(from, &to) { 0 } else { -1 }))
+            }
+            Syscall::Readdir => {
+                let path = args[0].as_str("readdir")?;
+                match self.fs.readdir(path) {
+                    Some(names) => Ok(SysRet::Str(names.join("\n"))),
+                    None => Ok(SysRet::Str(String::new())),
+                }
+            }
+            Syscall::Connect => {
+                let host = args[0].as_str("connect")?.to_string();
+                if self.net.peers.contains_key(&host) {
+                    Ok(SysRet::Int(self.alloc_fd(FdEntry::Peer { host })))
+                } else {
+                    Ok(SysRet::Int(-1))
+                }
+            }
+            Syscall::Send => self.syscall(Syscall::Write, args),
+            Syscall::Recv => self.syscall(Syscall::Read, args),
+            Syscall::Accept => {
+                let port = args[0].as_int("accept")?;
+                match self.net.accept(port) {
+                    Some(index) => Ok(SysRet::Int(self.alloc_fd(FdEntry::Client { index }))),
+                    None => Ok(SysRet::Int(-1)),
+                }
+            }
+            Syscall::GetPid => Ok(SysRet::Int(self.pid)),
+            Syscall::Time => {
+                let now = self.clock;
+                self.clock += self.clock_step;
+                Ok(SysRet::Int(now))
+            }
+            Syscall::Random => {
+                // xorshift64*.
+                let mut x = self.rng;
+                x ^= x >> 12;
+                x ^= x << 25;
+                x ^= x >> 27;
+                self.rng = x;
+                Ok(SysRet::Int(
+                    (x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 1) as i64,
+                ))
+            }
+            Syscall::Sleep => {
+                let n = args[0].as_int("sleep")?;
+                self.clock += n.max(0);
+                Ok(SysRet::Int(0))
+            }
+            Syscall::Lock
+            | Syscall::Unlock
+            | Syscall::Spawn
+            | Syscall::Join
+            | Syscall::Exit
+            | Syscall::Setjmp
+            | Syscall::Longjmp => Err(VosError::Unsupported {
+                syscall: sys.name(),
+            }),
+        }
+    }
+
+    fn append_file(&mut self, path: &str, data: &str) {
+        match self.fs.get_mut(path) {
+            Some(Node::File(existing)) => existing.push_str(data),
+            _ => {
+                self.fs.insert(path, Node::File(data.to_string()));
+            }
+        }
+    }
+
+    // ------- Inspection and cloning APIs (used by the overlay, the
+    // dual-execution engine's resource tainting, and tests).
+
+    /// The contents of the file at `path`, if it exists.
+    pub fn file_contents(&self, path: &str) -> Option<String> {
+        match self.fs.get(path) {
+            Some(Node::File(data)) => Some(data.clone()),
+            _ => None,
+        }
+    }
+
+    /// Clones the node at `path` (file or whole directory).
+    pub fn clone_node(&self, path: &str) -> Option<Node> {
+        self.fs.get(path).cloned()
+    }
+
+    /// Installs `node` at `path` (the overlay's copy-on-divergence hook).
+    pub fn install_node(&mut self, path: &str, node: Node) -> bool {
+        self.fs.insert(path, node)
+    }
+
+    /// Removes the node at `path` (tombstone support for the overlay).
+    pub fn remove_node(&mut self, path: &str) -> bool {
+        self.fs.remove(path).is_some()
+    }
+
+    /// Everything the program has sent to `host`, in order.
+    pub fn sent_to(&self, host: &str) -> Vec<String> {
+        self.net
+            .peers
+            .get(host)
+            .map(|p| p.sent.clone())
+            .unwrap_or_default()
+    }
+
+    /// Snapshot of a peer's full state (for overlay cloning).
+    pub fn peer_snapshot(&self, host: &str) -> Option<PeerState> {
+        self.net.peers.get(host).cloned()
+    }
+
+    /// Replaces a peer's state (overlay hook).
+    pub fn install_peer(&mut self, host: &str, state: PeerState) {
+        self.net.peers.insert(host.to_string(), state);
+    }
+
+    /// Responses the server sent to accepted client `i` (accept order).
+    pub fn client_responses(&self, i: usize) -> Vec<String> {
+        self.net
+            .clients
+            .get(i)
+            .map(|c| c.responses.clone())
+            .unwrap_or_default()
+    }
+
+    /// Number of accepted client connections so far.
+    pub fn accepted_clients(&self) -> usize {
+        self.net.clients.len()
+    }
+
+    /// Current virtual clock value (without advancing it).
+    pub fn clock(&self) -> i64 {
+        self.clock
+    }
+}
+
+/// Reads up to `n` characters of `data` starting at char offset `start`.
+fn read_chars(data: &str, start: usize, n: usize) -> String {
+    data.chars().skip(start).take(n).collect()
+}
+
+/// Removes and returns up to `n` characters from the front of `s`.
+fn take_chars(s: &mut String, n: usize) -> String {
+    let end = s.char_indices().nth(n).map(|(i, _)| i).unwrap_or(s.len());
+    let head = s[..end].to_string();
+    s.drain(..end);
+    head
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PeerBehavior;
+
+    fn world() -> VosState {
+        VosState::build(
+            &VosConfig::new()
+                .file("/data/input.txt", "hello world")
+                .dir("/out")
+                .peer("remote", PeerBehavior::Echo)
+                .listen(80, vec!["GET /index".into()]),
+        )
+    }
+
+    fn s(v: &str) -> SysArg {
+        SysArg::Str(v.into())
+    }
+    fn i(v: i64) -> SysArg {
+        SysArg::Int(v)
+    }
+
+    #[test]
+    fn open_read_close_roundtrip() {
+        let mut w = world();
+        let SysRet::Int(fd) = w
+            .syscall(Syscall::Open, &[s("/data/input.txt"), i(0)])
+            .unwrap()
+        else {
+            panic!()
+        };
+        assert!(fd >= 3);
+        let SysRet::Str(data) = w.syscall(Syscall::Read, &[i(fd), i(5)]).unwrap() else {
+            panic!()
+        };
+        assert_eq!(data, "hello");
+        let SysRet::Str(rest) = w.syscall(Syscall::Read, &[i(fd), i(100)]).unwrap() else {
+            panic!()
+        };
+        assert_eq!(rest, " world");
+        assert_eq!(w.syscall(Syscall::Close, &[i(fd)]).unwrap(), SysRet::Int(0));
+        assert_eq!(
+            w.syscall(Syscall::Close, &[i(fd)]).unwrap(),
+            SysRet::Int(-1),
+            "double close fails"
+        );
+    }
+
+    #[test]
+    fn open_missing_file_fails() {
+        let mut w = world();
+        assert_eq!(
+            w.syscall(Syscall::Open, &[s("/nope"), i(0)]).unwrap(),
+            SysRet::Int(-1)
+        );
+    }
+
+    #[test]
+    fn write_creates_and_appends() {
+        let mut w = world();
+        let SysRet::Int(fd) = w.syscall(Syscall::Open, &[s("/out/log"), i(1)]).unwrap() else {
+            panic!()
+        };
+        w.syscall(Syscall::Write, &[i(fd), s("one")]).unwrap();
+        w.syscall(Syscall::Write, &[i(fd), s("two")]).unwrap();
+        assert_eq!(w.file_contents("/out/log").unwrap(), "onetwo");
+        // Reopen with truncate.
+        let SysRet::Int(fd2) = w.syscall(Syscall::Open, &[s("/out/log"), i(1)]).unwrap() else {
+            panic!()
+        };
+        w.syscall(Syscall::Write, &[i(fd2), s("fresh")]).unwrap();
+        assert_eq!(w.file_contents("/out/log").unwrap(), "fresh");
+    }
+
+    #[test]
+    fn append_mode_keeps_existing() {
+        let mut w = world();
+        let SysRet::Int(fd) = w
+            .syscall(Syscall::Open, &[s("/data/input.txt"), i(2)])
+            .unwrap()
+        else {
+            panic!()
+        };
+        w.syscall(Syscall::Write, &[i(fd), s("!")]).unwrap();
+        assert_eq!(w.file_contents("/data/input.txt").unwrap(), "hello world!");
+    }
+
+    #[test]
+    fn reading_from_readonly_write_fails() {
+        let mut w = world();
+        let SysRet::Int(fd) = w
+            .syscall(Syscall::Open, &[s("/data/input.txt"), i(0)])
+            .unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(
+            w.syscall(Syscall::Write, &[i(fd), s("x")]).unwrap(),
+            SysRet::Int(-1)
+        );
+    }
+
+    #[test]
+    fn stdio_writes_are_captured() {
+        let mut w = world();
+        w.syscall(Syscall::Write, &[i(1), s("out")]).unwrap();
+        w.syscall(Syscall::Write, &[i(2), s("err")]).unwrap();
+        assert_eq!(w.file_contents("/dev/stdout").unwrap(), "out");
+        assert_eq!(w.file_contents("/dev/stderr").unwrap(), "err");
+        // stdin reads are empty.
+        assert_eq!(
+            w.syscall(Syscall::Read, &[i(0), i(4)]).unwrap(),
+            SysRet::Str(String::new())
+        );
+    }
+
+    #[test]
+    fn seek_repositions() {
+        let mut w = world();
+        let SysRet::Int(fd) = w
+            .syscall(Syscall::Open, &[s("/data/input.txt"), i(0)])
+            .unwrap()
+        else {
+            panic!()
+        };
+        w.syscall(Syscall::Seek, &[i(fd), i(6)]).unwrap();
+        let SysRet::Str(data) = w.syscall(Syscall::Read, &[i(fd), i(5)]).unwrap() else {
+            panic!()
+        };
+        assert_eq!(data, "world");
+    }
+
+    #[test]
+    fn stat_mkdir_unlink_rename_readdir() {
+        let mut w = world();
+        assert_eq!(
+            w.syscall(Syscall::Stat, &[s("/data/input.txt")]).unwrap(),
+            SysRet::Int(11)
+        );
+        assert_eq!(
+            w.syscall(Syscall::Stat, &[s("/out")]).unwrap(),
+            SysRet::Int(0)
+        );
+        assert_eq!(
+            w.syscall(Syscall::Stat, &[s("/gone")]).unwrap(),
+            SysRet::Int(-1)
+        );
+        assert_eq!(
+            w.syscall(Syscall::Mkdir, &[s("/tmp2")]).unwrap(),
+            SysRet::Int(0)
+        );
+        assert_eq!(
+            w.syscall(Syscall::Rename, &[s("/data/input.txt"), s("/tmp2/in")])
+                .unwrap(),
+            SysRet::Int(0)
+        );
+        assert_eq!(
+            w.syscall(Syscall::Readdir, &[s("/tmp2")]).unwrap(),
+            SysRet::Str("in".into())
+        );
+        assert_eq!(
+            w.syscall(Syscall::Unlink, &[s("/tmp2/in")]).unwrap(),
+            SysRet::Int(0)
+        );
+        assert_eq!(
+            w.syscall(Syscall::Unlink, &[s("/tmp2/in")]).unwrap(),
+            SysRet::Int(-1)
+        );
+    }
+
+    #[test]
+    fn connect_send_recv_echo() {
+        let mut w = world();
+        let SysRet::Int(sock) = w.syscall(Syscall::Connect, &[s("remote")]).unwrap() else {
+            panic!()
+        };
+        assert!(sock >= 3);
+        w.syscall(Syscall::Send, &[i(sock), s("ping")]).unwrap();
+        assert_eq!(
+            w.syscall(Syscall::Recv, &[i(sock), i(10)]).unwrap(),
+            SysRet::Str("ping".into())
+        );
+        assert_eq!(w.sent_to("remote"), vec!["ping"]);
+        assert_eq!(
+            w.syscall(Syscall::Connect, &[s("unknown-host")]).unwrap(),
+            SysRet::Int(-1)
+        );
+    }
+
+    #[test]
+    fn accept_serves_scripted_clients() {
+        let mut w = world();
+        let SysRet::Int(conn) = w.syscall(Syscall::Accept, &[i(80)]).unwrap() else {
+            panic!()
+        };
+        assert!(conn >= 3);
+        let SysRet::Str(req) = w.syscall(Syscall::Recv, &[i(conn), i(64)]).unwrap() else {
+            panic!()
+        };
+        assert_eq!(req, "GET /index");
+        w.syscall(Syscall::Send, &[i(conn), s("200 OK")]).unwrap();
+        assert_eq!(w.client_responses(0), vec!["200 OK"]);
+        assert_eq!(
+            w.syscall(Syscall::Accept, &[i(80)]).unwrap(),
+            SysRet::Int(-1)
+        );
+    }
+
+    #[test]
+    fn time_advances_and_random_is_deterministic() {
+        let mut w1 = world();
+        let mut w2 = world();
+        let t1 = w1.syscall(Syscall::Time, &[]).unwrap();
+        let t2 = w1.syscall(Syscall::Time, &[]).unwrap();
+        assert_ne!(t1, t2);
+        let r1 = w1.syscall(Syscall::Random, &[]).unwrap();
+        w2.syscall(Syscall::Time, &[]).unwrap();
+        w2.syscall(Syscall::Time, &[]).unwrap();
+        let r2 = w2.syscall(Syscall::Random, &[]).unwrap();
+        assert_eq!(r1, r2, "same seed, same stream");
+        w1.syscall(Syscall::Sleep, &[i(100)]).unwrap();
+        assert!(w1.clock() > w2.clock());
+    }
+
+    #[test]
+    fn getpid_is_stable() {
+        let mut w = world();
+        assert_eq!(w.syscall(Syscall::GetPid, &[]).unwrap(), SysRet::Int(4242));
+    }
+
+    #[test]
+    fn type_misuse_is_an_error() {
+        let mut w = world();
+        assert!(w.syscall(Syscall::Open, &[i(1), i(0)]).is_err());
+        assert!(w.syscall(Syscall::Read, &[s("x"), i(1)]).is_err());
+    }
+
+    #[test]
+    fn runtime_owned_syscalls_rejected() {
+        let mut w = world();
+        assert!(matches!(
+            w.syscall(Syscall::Spawn, &[]),
+            Err(VosError::Unsupported { .. })
+        ));
+        assert!(w.syscall(Syscall::Lock, &[i(0)]).is_err());
+    }
+
+    #[test]
+    fn fd_reuse_after_close() {
+        let mut w = world();
+        let SysRet::Int(fd1) = w
+            .syscall(Syscall::Open, &[s("/data/input.txt"), i(0)])
+            .unwrap()
+        else {
+            panic!()
+        };
+        w.syscall(Syscall::Close, &[i(fd1)]).unwrap();
+        let SysRet::Int(fd2) = w
+            .syscall(Syscall::Open, &[s("/data/input.txt"), i(0)])
+            .unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(fd1, fd2, "closed descriptor slot is reused");
+    }
+
+    #[test]
+    fn syscall_count_increments() {
+        let mut w = world();
+        let before = w.syscall_count;
+        w.syscall(Syscall::GetPid, &[]).unwrap();
+        w.syscall(Syscall::Time, &[]).unwrap();
+        assert_eq!(w.syscall_count, before + 2);
+    }
+}

@@ -1,0 +1,110 @@
+//! Thread-safe virtual OS handle.
+
+use crate::config::VosConfig;
+use crate::error::VosError;
+use crate::fs::Node;
+use crate::net::PeerState;
+use crate::state::{SysArg, SysRet, VosState};
+use ldx_lang::Syscall;
+use parking_lot::Mutex;
+
+/// A virtual world shared by all Lx threads of one execution.
+///
+/// All syscalls are serialized by an internal lock, matching the atomicity
+/// granularity of real kernel syscalls; Lx-level races remain genuinely
+/// nondeterministic across runs.
+#[derive(Debug)]
+pub struct Vos {
+    state: Mutex<VosState>,
+}
+
+impl Vos {
+    /// Builds the world described by `config`.
+    pub fn new(config: &VosConfig) -> Self {
+        Vos {
+            state: Mutex::new(VosState::build(config)),
+        }
+    }
+
+    /// Executes a syscall.
+    ///
+    /// # Errors
+    ///
+    /// See [`VosState::syscall`].
+    pub fn syscall(&self, sys: Syscall, args: &[SysArg]) -> Result<SysRet, VosError> {
+        self.state.lock().syscall(sys, args)
+    }
+
+    /// Runs `f` with shared access to the locked state (inspection).
+    pub fn with_state<R>(&self, f: impl FnOnce(&VosState) -> R) -> R {
+        f(&self.state.lock())
+    }
+
+    /// File contents at `path`, if present.
+    pub fn file_contents(&self, path: &str) -> Option<String> {
+        self.state.lock().file_contents(path)
+    }
+
+    /// Everything sent to peer `host`.
+    pub fn sent_to(&self, host: &str) -> Vec<String> {
+        self.state.lock().sent_to(host)
+    }
+
+    /// Clones the filesystem node at `path` (copy-on-divergence hook).
+    pub fn clone_node(&self, path: &str) -> Option<Node> {
+        self.state.lock().clone_node(path)
+    }
+
+    /// Snapshot of a peer's live state.
+    pub fn peer_snapshot(&self, host: &str) -> Option<PeerState> {
+        self.state.lock().peer_snapshot(host)
+    }
+
+    /// Total syscalls executed against this world.
+    pub fn syscall_count(&self) -> u64 {
+        self.state.lock().syscall_count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn concurrent_syscalls_are_serialized() {
+        let vos = Arc::new(Vos::new(&VosConfig::new()));
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let vos = Arc::clone(&vos);
+            handles.push(std::thread::spawn(move || {
+                for k in 0..50 {
+                    vos.syscall(
+                        Syscall::Write,
+                        &[SysArg::Int(1), SysArg::Str(format!("{t}:{k};"))],
+                    )
+                    .unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let out = vos.file_contents("/dev/stdout").unwrap();
+        // All 200 writes landed, each atomically.
+        assert_eq!(out.matches(';').count(), 200);
+        assert_eq!(vos.syscall_count(), 200);
+    }
+
+    #[test]
+    fn inspection_does_not_consume() {
+        let vos = Vos::new(&VosConfig::new().file("/f", "abc"));
+        assert_eq!(vos.file_contents("/f").unwrap(), "abc");
+        assert_eq!(vos.file_contents("/f").unwrap(), "abc");
+        assert!(vos.clone_node("/f").is_some());
+        assert_eq!(
+            vos.with_state(|s| s.clock()),
+            VosConfig::default().clock_start
+        );
+    }
+}

@@ -1,0 +1,182 @@
+//! The paper's §8.4 case studies.
+
+use crate::{Suite, Workload};
+use ldx_dualex::{Mutation, SinkSpec, SourceMatcher, SourceSpec};
+use ldx_vos::{PeerBehavior, VosConfig};
+use std::collections::BTreeMap;
+
+/// §8.4 "403.gcc": preprocessing nginx-like sources where the secret is
+/// the `NGX_HAVE_POLL` configuration macro.
+///
+/// The master defines `NGX_HAVE_POLL`, the slave's mutated configuration
+/// defines `NGX_HAVE_EPOLL` instead. The `#ifdef` blocks taken differ, so
+/// the emitted (preprocessed) code differs — but only through **control
+/// dependences** (paper Fig. 7: `pfile->state.skipping`), which is why
+/// LIBDFT and TaintGrind miss it while LDX reports it.
+pub fn preprocessor_case_study() -> Workload {
+    let source = r##"
+        global defines = ["", "", "", "", "", "", "", "", "", "", "", ""];
+        global ndef = 0;
+
+        fn is_defined(name) {
+            for (let i = 0; i < ndef; i = i + 1) {
+                if (defines[i] == name) { return 1; }
+            }
+            return 0;
+        }
+
+        fn define(name) {
+            if (is_defined(name) == 0 && ndef < 12) {
+                defines[ndef] = name;
+                ndef = ndef + 1;
+            }
+            return 0;
+        }
+
+        fn emit(out, line) {
+            // The output loop of the paper's case study (its lines
+            // 216/217): every emitted line is a sink.
+            write(out, line + "\n");
+            return 0;
+        }
+
+        fn preprocess(path, out, depth) {
+            if (depth > 5) { return 0; }
+            let fd = open(path, 0);
+            if (fd < 0) { return 0; }
+            let text = read(fd, 8192);
+            close(fd);
+            let lines = split(text, "\n");
+            let skipping = 0;
+            for (let i = 0; i < len(lines); i = i + 1) {
+                let line = trim(lines[i]);
+                if (find(line, "#define ") == 0) {
+                    if (skipping == 0) { define(substr(line, 8, 40)); }
+                } else if (find(line, "#if ") == 0) {
+                    // `#if NGX_HAVE_POLL` — the stored macro value feeds
+                    // the skip decision through a branch only.
+                    let skip = 0;
+                    if (is_defined(substr(line, 4, 40)) == 0) { skip = 1; }
+                    skipping = skip;
+                } else if (line == "#endif") {
+                    skipping = 0;
+                } else if (find(line, "#include ") == 0) {
+                    if (skipping == 0) {
+                        preprocess("/nginx/src/" + substr(line, 9, 40), out, depth + 1);
+                    }
+                } else if (skipping == 0 && line != "") {
+                    emit(out, line);
+                }
+            }
+            return 0;
+        }
+
+        fn main() {
+            let out = open("/out/ngx_module.i", 1);
+            preprocess("/nginx/src/ngx_module.c", out, 0);
+            close(out);
+        }
+    "##;
+    Workload {
+        name: "cs-gcc-ngx",
+        stands_for: "403.gcc preprocessing nginx (case study)",
+        suite: Suite::SpecLike,
+        source: source.to_string(),
+        world: VosConfig::new()
+            .file("/nginx/src/ngx_auto_config.h", "#define NGX_HAVE_POLL\n")
+            .file(
+                "/nginx/src/ngx_module.c",
+                "#include ngx_auto_config.h\n\
+                 static_prologue();\n\
+                 #if NGX_HAVE_POLL\n\
+                 #include ngx_poll_module.h\n\
+                 init_poll();\n\
+                 #endif\n\
+                 #if NGX_HAVE_EPOLL\n\
+                 #include ngx_epoll_module.h\n\
+                 init_epoll();\n\
+                 #endif\n\
+                 static_epilogue();\n",
+            )
+            .file(
+                "/nginx/src/ngx_poll_module.h",
+                "poll_handler_decl();\npoll_table_decl();\n",
+            )
+            .file("/nginx/src/ngx_epoll_module.h", "epoll_handler_decl();\n")
+            .dir("/out"),
+        sources: vec![SourceSpec {
+            matcher: SourceMatcher::FileRead("/nginx/src/ngx_auto_config.h".into()),
+            mutation: Mutation::Replace("#define NGX_HAVE_EPOLL\n".into()),
+        }],
+        sinks: SinkSpec::FileOut,
+        benign_sources: None,
+        expect_leak: true,
+    }
+}
+
+/// §8.4 Firefox/ShowIP: the extension leaks the browsed URL to a remote
+/// service from inside the event-handling path.
+pub fn showip_case_study() -> Workload {
+    let source = r##"
+        global history = "";
+
+        fn ext_showip(url) {
+            // ShowIP 1.2rc5: "sends the current url to a remote server".
+            let t = connect("showip.example");
+            send(t, "ip-for " + url);
+            let ip = recv(t, 32);
+            close(t);
+            return ip;
+        }
+
+        fn on_page_load(url) {
+            let w = connect("web.example");
+            send(w, "GET " + url);
+            let body = recv(w, 256);
+            close(w);
+            history = history + url + ";";
+            let ip = ext_showip(url);
+            write(2, "status: " + url + " @" + ip + "\n");
+            return len(body);
+        }
+
+        fn main() {
+            let fd = open("/profile/session.txt", 0);
+            let urls = split(trim(read(fd, 512)), "\n");
+            close(fd);
+            for (let i = 0; i < len(urls); i = i + 1) {
+                on_page_load(urls[i]);
+            }
+            let hist = open("/profile/history.dat", 1);
+            write(hist, history);
+            close(hist);
+        }
+    "##;
+    let mut web = BTreeMap::new();
+    web.insert("GET /bank/account".to_string(), "balance page".to_string());
+    web.insert("GET /webmail".to_string(), "inbox page".to_string());
+    let mut showip = BTreeMap::new();
+    showip.insert(
+        "ip-for /bank/account".to_string(),
+        "203.0.113.9".to_string(),
+    );
+    showip.insert("ip-for /webmail".to_string(), "203.0.113.7".to_string());
+    Workload {
+        name: "cs-showip",
+        stands_for: "Firefox ShowIP extension (case study)",
+        suite: Suite::NetSys,
+        source: source.to_string(),
+        world: VosConfig::new()
+            .file("/profile/session.txt", "/bank/account\n/webmail\n")
+            .peer("web.example", PeerBehavior::Respond(web))
+            .peer("showip.example", PeerBehavior::Respond(showip))
+            .dir("/profile"),
+        sources: vec![SourceSpec {
+            matcher: SourceMatcher::FileRead("/profile/session.txt".into()),
+            mutation: Mutation::Replace("/webmail\n/webmail\n".into()),
+        }],
+        sinks: SinkSpec::NetworkOut,
+        benign_sources: None,
+        expect_leak: true,
+    }
+}

@@ -1,0 +1,356 @@
+//! The 5 concurrent stand-ins (apache, pbzip2, pigz, axel, x264).
+//!
+//! These exercise the paper's §7 concurrency support: thread pairing,
+//! shared lock-grant order, and — deliberately — *unprotected* shared
+//! counters whose races produce the run-to-run variance of Table 4 (the
+//! paper attributes the x264 and axel variance to exactly such
+//! beyond-control statistics).
+
+use crate::{Suite, Workload};
+use ldx_dualex::{Mutation, SinkSpec, SourceMatcher, SourceSpec};
+use ldx_vos::{PeerBehavior, VosConfig};
+use std::collections::BTreeMap;
+
+pub(crate) fn workloads() -> Vec<Workload> {
+    vec![mtserve(), mtzip(), mtgzip(), mtget(), mtenc()]
+}
+
+/// apache: two workers serving a shared accept queue.
+fn mtserve() -> Workload {
+    let source = r#"
+        global served = 0;
+        global hits = 0;
+
+        fn serve_one(conn) {
+            let req = trim(recv(conn, 64));
+            let path = "/www" + substr(req, 4, 56);
+            let fd = open(path, 0);
+            if (fd < 0) {
+                send(conn, "404");
+            } else {
+                send(conn, "200 " + read(fd, 256));
+                close(fd);
+            }
+            lock(1);
+            served = served + 1;
+            unlock(1);
+            // Unprotected counter: which worker observes which parity is a
+            // genuine race, so this trace write comes and goes per run.
+            let h = hits;
+            sleep(0);
+            hits = h + 1;
+            if (h % 2 == 1) {
+                write(2, "hit " + str(h) + "\n");
+            }
+            return 0;
+        }
+
+        fn worker(n) {
+            for (let i = 0; i < n; i = i + 1) {
+                lock(2);
+                let conn = accept(80);
+                unlock(2);
+                if (conn >= 0) {
+                    serve_one(conn);
+                    close(conn);
+                }
+            }
+            return 0;
+        }
+
+        fn main() {
+            let t1 = spawn(&worker, 2);
+            let t2 = spawn(&worker, 2);
+            join(t1);
+            join(t2);
+            let log = open("/out/access.log", 1);
+            write(log, "served " + str(served) + "\n");
+            close(log);
+        }
+    "#;
+    Workload {
+        name: "mtserve",
+        stands_for: "Apache",
+        suite: Suite::Concurrent,
+        source: source.to_string(),
+        world: VosConfig::new()
+            .file("/www/a.html", "page a contents")
+            .file("/www/b.html", "page b secret contents")
+            .listen(
+                80,
+                vec![
+                    "GET /a.html".into(),
+                    "GET /b.html".into(),
+                    "GET /a.html".into(),
+                    "GET /missing".into(),
+                ],
+            )
+            .dir("/out"),
+        sources: vec![SourceSpec::file("/www/b.html")],
+        sinks: SinkSpec::NetworkOut,
+        benign_sources: None,
+        expect_leak: true,
+    }
+}
+
+/// pbzip2: parallel block compression with locked result slots.
+fn mtzip() -> Workload {
+    let source = r#"
+        global blocks = ["", "", "", ""];
+        global input = "";
+
+        fn rle(data) {
+            let out = "";
+            let i = 0;
+            while (i < len(data)) {
+                let c = data[i];
+                let run = 1;
+                while (i + run < len(data) && data[i + run] == c) { run = run + 1; }
+                out = out + str(run) + c;
+                i = i + run;
+            }
+            return out;
+        }
+
+        global racy_done = 0;
+
+        fn compress_block(b) {
+            let quarter = len(input) / 4;
+            let chunk = substr(input, b * quarter, quarter);
+            let z = rle(chunk);
+            lock(1);
+            blocks[b] = z;
+            unlock(1);
+            let d = racy_done;
+            sleep(0);
+            racy_done = d + 1;
+            if (d % 2 == 0) {
+                write(2, "block " + str(b) + " done\n");
+            }
+            return 0;
+        }
+
+        fn main() {
+            let fd = open("/data/big.txt", 0);
+            input = read(fd, 2048);
+            close(fd);
+            let t0 = spawn(&compress_block, 0);
+            let t1 = spawn(&compress_block, 1);
+            let t2 = spawn(&compress_block, 2);
+            let t3 = spawn(&compress_block, 3);
+            join(t0); join(t1); join(t2); join(t3);
+            let out = open("/out/big.rle", 1);
+            for (let b = 0; b < 4; b = b + 1) {
+                write(out, blocks[b]);
+            }
+            close(out);
+        }
+    "#;
+    Workload {
+        name: "mtzip",
+        stands_for: "Pbzip2",
+        suite: Suite::Concurrent,
+        source: source.to_string(),
+        world: VosConfig::new()
+            .file(
+                "/data/big.txt",
+                "aaaaabbbbbcccccdddddeeeeefffffggggghhhhhiiiiijjjjjkkkkklllll",
+            )
+            .dir("/out"),
+        sources: vec![SourceSpec::file("/data/big.txt")],
+        sinks: SinkSpec::FileOut,
+        benign_sources: None,
+        expect_leak: true,
+    }
+}
+
+/// pigz: parallel compression with a *racy* throughput statistic that only
+/// reaches stderr (syscall variance without sink variance).
+fn mtgzip() -> Workload {
+    let source = r#"
+        global done = ["", ""];
+        global racy_progress = 0;
+
+        fn crunch(half) {
+            let fd = open("/data/input.bin", 0);
+            if (half == 1) { seek(fd, 600); }
+            let chunk = read(fd, 600);
+            close(fd);
+            let out = "";
+            for (let i = 0; i < len(chunk); i = i + 1) {
+                out = out + chr((ord(chunk, i) + 1) % 128);
+                // Unprotected read-modify-write straddling a syscall: a
+                // genuine race whose outcome varies run to run.
+                let rp = racy_progress;
+                if (i % 8 == 0) { sleep(0); }
+                racy_progress = rp + 1;
+            }
+            lock(1);
+            done[half] = out;
+            unlock(1);
+            if (racy_progress % 2 == 1) {
+                write(2, "progress " + str(racy_progress) + "\n");
+            }
+            return 0;
+        }
+
+        fn main() {
+            let t0 = spawn(&crunch, 0);
+            let t1 = spawn(&crunch, 1);
+            join(t0); join(t1);
+            let out = open("/out/output.gz", 1);
+            write(out, done[0] + done[1]);
+            close(out);
+        }
+    "#;
+    Workload {
+        name: "mtgzip",
+        stands_for: "Pigz",
+        suite: Suite::Concurrent,
+        source: source.to_string(),
+        world: VosConfig::new()
+            .file("/data/input.bin", {
+                let mut data = String::new();
+                for i in 0..1200 {
+                    data.push(char::from(b'!' + ((i * 31 + 7) % 90) as u8));
+                }
+                data
+            })
+            .dir("/out"),
+        sources: vec![SourceSpec::file("/data/input.bin")],
+        sinks: SinkSpec::FileOut,
+        benign_sources: None,
+        expect_leak: true,
+    }
+}
+
+/// axel: multi-connection downloader whose *racy* chunk-arrival counter is
+/// written into the sink file — the source of Table 4's tainted-sink
+/// variance for axel.
+fn mtget() -> Workload {
+    let source = r#"
+        global parts = ["", ""];
+        global arrivals = 0;
+
+        fn fetch(idx) {
+            let host = "mirror" + str(idx) + ".example";
+            let s = connect(host);
+            send(s, "GET part" + str(idx));
+            let data = recv(s, 128);
+            close(s);
+            lock(1);
+            parts[idx] = data;
+            unlock(1);
+            // Unprotected read-modify-write loop: lost updates vary run to
+            // run, like axel's connection statistics.
+            for (let k = 0; k < 160; k = k + 1) {
+                let seen = arrivals;
+                if (k % 5 == 0) { sleep(0); }
+                arrivals = seen + 1;
+            }
+            return 0;
+        }
+
+        fn main() {
+            let t0 = spawn(&fetch, 0);
+            let t1 = spawn(&fetch, 1);
+            join(t0); join(t1);
+            let out = open("/out/download.bin", 1);
+            write(out, parts[0] + parts[1]);
+            close(out);
+            let stats = open("/out/stats.txt", 1);
+            write(stats, "connections=" + str(arrivals) + "\n");
+            close(stats);
+        }
+    "#;
+    let mut m0 = BTreeMap::new();
+    m0.insert(
+        "GET part0".to_string(),
+        "first-half-of-the-payload".to_string(),
+    );
+    let mut m1 = BTreeMap::new();
+    m1.insert(
+        "GET part1".to_string(),
+        "second-half-of-the-payload".to_string(),
+    );
+    Workload {
+        name: "mtget",
+        stands_for: "Axel",
+        suite: Suite::Concurrent,
+        source: source.to_string(),
+        world: VosConfig::new()
+            .peer("mirror0.example", PeerBehavior::Respond(m0))
+            .peer("mirror1.example", PeerBehavior::Respond(m1))
+            .dir("/out"),
+        sources: vec![SourceSpec::net("mirror0.example")],
+        sinks: SinkSpec::FileOut,
+        benign_sources: None,
+        expect_leak: true,
+    }
+}
+
+/// x264: parallel encoding with a racy bits/sec statistic in the report —
+/// the paper's explanation for x264's tainted-sink variance.
+fn mtenc() -> Workload {
+    let source = r#"
+        global encoded = ["", ""];
+        global bits = 0;
+
+        fn encode(half) {
+            let fd = open("/data/frames.yuv", 0);
+            if (half == 1) { seek(fd, 300); }
+            let chunk = read(fd, 300);
+            close(fd);
+            let out = "";
+            let prev = 0;
+            for (let i = 0; i < len(chunk); i = i + 1) {
+                let cur = ord(chunk, i);
+                out = out + str(cur - prev) + ".";
+                prev = cur;
+                // Racy bit counter (no lock!): lost updates vary per run.
+                let b = bits;
+                if (i % 7 == 0) { sleep(0); }
+                bits = b + 8;
+            }
+            lock(1);
+            encoded[half] = out;
+            unlock(1);
+            return 0;
+        }
+
+        fn main() {
+            let t0 = spawn(&encode, 0);
+            let t1 = spawn(&encode, 1);
+            join(t0); join(t1);
+            let out = open("/out/stream.264", 1);
+            write(out, encoded[0]);
+            write(out, encoded[1]);
+            close(out);
+            let stats = open("/out/rate.txt", 1);
+            write(stats, "bits/sec=" + str(bits) + "\n");
+            close(stats);
+        }
+    "#;
+    Workload {
+        name: "mtenc",
+        stands_for: "X264",
+        suite: Suite::Concurrent,
+        source: source.to_string(),
+        world: VosConfig::new()
+            .file("/data/frames.yuv", {
+                let mut data = String::new();
+                for i in 0..600 {
+                    data.push(char::from(b'A' + ((i * 13 + i / 7) % 26) as u8));
+                }
+                data
+            })
+            .dir("/out"),
+        sources: vec![SourceSpec {
+            matcher: SourceMatcher::FileRead("/data/frames.yuv".into()),
+            mutation: Mutation::OffByOne,
+        }],
+        sinks: SinkSpec::FileOut,
+        benign_sources: None,
+        expect_leak: true,
+    }
+}

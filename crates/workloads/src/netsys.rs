@@ -1,0 +1,359 @@
+//! The 5 network/system stand-ins (Firefox, lynx, nginx, tnftp, sysstat).
+//!
+//! These are the information-leak detection targets: secrets flow (or
+//! don't) into network sends and local file outputs. Each carries a
+//! *benign* second mutation for paper Table 2 — one that changes the
+//! executed syscalls (extra lookups, different configuration paths) while
+//! leaving every sink payload identical, which is exactly the case
+//! TightLip cannot tolerate but LDX must.
+
+use crate::{Suite, Workload};
+use ldx_dualex::{Mutation, SinkSpec, SourceMatcher, SourceSpec};
+use ldx_vos::{PeerBehavior, VosConfig};
+use std::collections::BTreeMap;
+
+pub(crate) fn workloads() -> Vec<Workload> {
+    vec![minffox(), minbrowse(), minhttpd(), minftp(), minstat()]
+}
+
+/// Firefox: an event-driven "browser" whose extension reports the current
+/// URL to a tracker (the ShowIP case study's shape, §8.4).
+fn minffox() -> Workload {
+    let source = r#"
+        global current_url = "";
+
+        fn ext_showip(url) {
+            // The extension "displays the IP": it asks a remote service,
+            // leaking the browsed URL.
+            let t = connect("tracker.example");
+            send(t, "lookup " + url);
+            let ip = recv(t, 32);
+            close(t);
+            return ip;
+        }
+
+        fn load_page(url) {
+            current_url = url;
+            let w = connect("web.example");
+            send(w, "GET " + url);
+            let body = recv(w, 256);
+            close(w);
+            let ip = ext_showip(url);
+            let log = open("/out/history.log", 2);
+            write(log, url + " [" + str(len(body)) + " bytes]\n");
+            close(log);
+            return 0;
+        }
+
+        fn ev_theme(arg) {
+            // UI work handled by the master only in real LDX; here it is a
+            // harmless config consultation.
+            let fd = open("/etc/theme.cfg", 0);
+            let theme = trim(read(fd, 16));
+            close(fd);
+            if (theme == "dark") {
+                write(2, "theme: dark\n");
+            } else {
+                write(2, "theme: light\n");
+                write(2, "contrast: normal\n");
+            }
+            return 0;
+        }
+
+        fn main() {
+            let fd = open("/etc/events.txt", 0);
+            let lines = split(trim(read(fd, 1024)), "\n");
+            close(fd);
+            for (let i = 0; i < len(lines); i = i + 1) {
+                let parts = split(trim(lines[i]), " ");
+                if (parts[0] == "load") { load_page(parts[1]); }
+                if (parts[0] == "theme") { ev_theme(0); }
+            }
+        }
+    "#;
+    let mut web = BTreeMap::new();
+    web.insert(
+        "GET /inbox".to_string(),
+        "your private inbox page".to_string(),
+    );
+    web.insert("GET /news".to_string(), "public news page".to_string());
+    let mut tracker = BTreeMap::new();
+    tracker.insert("lookup /inbox".to_string(), "10.0.0.5".to_string());
+    tracker.insert("lookup /news".to_string(), "10.0.0.9".to_string());
+    Workload {
+        name: "minffox",
+        stands_for: "Firefox (+ShowIP)",
+        suite: Suite::NetSys,
+        source: source.to_string(),
+        world: VosConfig::new()
+            .file("/etc/events.txt", "theme x\nload /inbox\nload /news\n")
+            .file("/etc/theme.cfg", "dark")
+            .peer("web.example", PeerBehavior::Respond(web))
+            .peer("tracker.example", PeerBehavior::Respond(tracker))
+            .dir("/out"),
+        sources: vec![SourceSpec {
+            matcher: SourceMatcher::FileRead("/etc/events.txt".into()),
+            mutation: Mutation::Replace("theme x\nload /news\nload /news\n".into()),
+        }],
+        sinks: SinkSpec::NetworkOut,
+        benign_sources: Some(vec![SourceSpec {
+            matcher: SourceMatcher::FileRead("/etc/theme.cfg".into()),
+            mutation: Mutation::Replace("light".into()),
+        }]),
+        expect_leak: true,
+    }
+}
+
+/// lynx: fetch, render, and archive a page.
+fn minbrowse() -> Workload {
+    let source = r#"
+        fn render(body, out) {
+            let i = 0;
+            let text = "";
+            let links = 0;
+            while (i < len(body)) {
+                if (body[i] == "<") {
+                    let end = i;
+                    while (end < len(body) && body[end] != ">") { end = end + 1; }
+                    let tag = substr(body, i + 1, end - i - 1);
+                    if (find(tag, "a ") == 0) { links = links + 1; }
+                    i = end + 1;
+                } else {
+                    text = text + body[i];
+                    i = i + 1;
+                }
+            }
+            write(out, text + "\n[" + str(links) + " links]\n");
+            return 0;
+        }
+
+        fn main() {
+            let cfg = open("/etc/lynxrc", 0);
+            let dns = trim(read(cfg, 16));
+            close(cfg);
+            if (dns == "remote") {
+                // Remote DNS resolution: extra network round trips that do
+                // not influence the rendered page.
+                let r = connect("dns.example");
+                send(r, "resolve site.example");
+                let addr = recv(r, 16);
+                close(r);
+                write(2, "resolved: " + addr + "\n");
+            }
+            let w = connect("site.example");
+            send(w, "GET /");
+            let body = recv(w, 512);
+            close(w);
+            let out = open("/out/page.txt", 1);
+            render(body, out);
+            close(out);
+        }
+    "#;
+    let mut site = BTreeMap::new();
+    site.insert(
+        "GET /".to_string(),
+        "<h1>welcome</h1>visit <a x>here</a> and <a y>there</a> now".to_string(),
+    );
+    let mut dns = BTreeMap::new();
+    dns.insert("resolve site.example".to_string(), "10.1.2.3".to_string());
+    Workload {
+        name: "minbrowse",
+        stands_for: "Lynx",
+        suite: Suite::NetSys,
+        source: source.to_string(),
+        world: VosConfig::new()
+            .file("/etc/lynxrc", "local")
+            .peer("site.example", PeerBehavior::Respond(site))
+            .peer("dns.example", PeerBehavior::Respond(dns))
+            .dir("/out"),
+        sources: vec![SourceSpec::net("site.example")],
+        sinks: SinkSpec::FileOut,
+        benign_sources: Some(vec![SourceSpec {
+            matcher: SourceMatcher::FileRead("/etc/lynxrc".into()),
+            mutation: Mutation::Replace("remote".into()),
+        }]),
+        expect_leak: true,
+    }
+}
+
+/// nginx: serve scripted clients from a document root.
+fn minhttpd() -> Workload {
+    let source = r#"
+        fn serve(conn) {
+            let req = trim(recv(conn, 64));
+            if (find(req, "GET ") != 0) {
+                send(conn, "400 bad request");
+                return 0;
+            }
+            let path = substr(req, 4, 60);
+            let fd = open("/www" + path, 0);
+            if (fd < 0) {
+                send(conn, "404 not found");
+                return 0;
+            }
+            let body = read(fd, 512);
+            close(fd);
+            send(conn, "200 " + body);
+            return 0;
+        }
+
+        fn main() {
+            let cfg = open("/etc/httpd.conf", 0);
+            let keepalive = trim(read(cfg, 16));
+            close(cfg);
+            if (keepalive == "on") {
+                // Idle-timeout bookkeeping: harmless extra syscalls.
+                let t1 = time();
+                let t2 = time();
+                write(2, "keepalive window " + str(t2 - t1) + "\n");
+            }
+            let served = 0;
+            let conn = accept(8080);
+            while (conn >= 0) {
+                serve(conn);
+                close(conn);
+                served = served + 1;
+                conn = accept(8080);
+            }
+            let log = open("/out/access.log", 1);
+            write(log, "served " + str(served) + "\n");
+            close(log);
+        }
+    "#;
+    Workload {
+        name: "minhttpd",
+        stands_for: "Nginx",
+        suite: Suite::NetSys,
+        source: source.to_string(),
+        world: VosConfig::new()
+            .file("/etc/httpd.conf", "off")
+            .file("/www/index.html", "hello world, this is the index")
+            .file("/www/admin.html", "TOP SECRET admin console")
+            .listen(
+                8080,
+                vec![
+                    "GET /index.html".into(),
+                    "GET /admin.html".into(),
+                    "GET /index.html".into(),
+                ],
+            )
+            .dir("/out"),
+        sources: vec![SourceSpec::file("/www/admin.html")],
+        sinks: SinkSpec::NetworkOut,
+        benign_sources: Some(vec![SourceSpec {
+            matcher: SourceMatcher::FileRead("/etc/httpd.conf".into()),
+            mutation: Mutation::Replace("on".into()),
+        }]),
+        expect_leak: true,
+    }
+}
+
+/// tnftp: a scripted file-transfer session.
+fn minftp() -> Workload {
+    let source = r#"
+        fn main() {
+            let cfg = open("/etc/ftprc", 0);
+            let passive = trim(read(cfg, 16));
+            close(cfg);
+            let ctrl = connect("ftp.example");
+            if (passive == "yes") {
+                send(ctrl, "PASV");
+                let port = recv(ctrl, 16);
+                write(2, "passive port " + port + "\n");
+            }
+            let sfd = open("/etc/script.ftp", 0);
+            let cmds = split(trim(read(sfd, 512)), "\n");
+            close(sfd);
+            for (let i = 0; i < len(cmds); i = i + 1) {
+                let cmd = trim(cmds[i]);
+                if (find(cmd, "get ") == 0) {
+                    send(ctrl, "RETR " + substr(cmd, 4, 32));
+                    let data = recv(ctrl, 256);
+                    let out = open("/out/" + substr(cmd, 4, 32), 1);
+                    write(out, data);
+                    close(out);
+                } else if (cmd == "pwd") {
+                    send(ctrl, "PWD");
+                    write(2, recv(ctrl, 32) + "\n");
+                }
+            }
+            close(ctrl);
+        }
+    "#;
+    let mut ftp = BTreeMap::new();
+    ftp.insert("PASV".to_string(), "22731".to_string());
+    ftp.insert(
+        "RETR report.txt".to_string(),
+        "Q3 numbers: 1932 units".to_string(),
+    );
+    ftp.insert("PWD".to_string(), "/home/user".to_string());
+    Workload {
+        name: "minftp",
+        stands_for: "Tnftp",
+        suite: Suite::NetSys,
+        source: source.to_string(),
+        world: VosConfig::new()
+            .file("/etc/ftprc", "no")
+            .file("/etc/script.ftp", "pwd\nget report.txt\n")
+            .peer("ftp.example", PeerBehavior::Respond(ftp))
+            .dir("/out"),
+        sources: vec![SourceSpec::net("ftp.example")],
+        sinks: SinkSpec::FileOut,
+        benign_sources: Some(vec![SourceSpec {
+            matcher: SourceMatcher::FileRead("/etc/ftprc".into()),
+            mutation: Mutation::Replace("yes".into()),
+        }]),
+        expect_leak: true,
+    }
+}
+
+/// sysstat: aggregate kernel counters into a report.
+fn minstat() -> Workload {
+    let source = r#"
+        fn read_counter(path) {
+            let fd = open(path, 0);
+            if (fd < 0) { return 0; }
+            let v = int(trim(read(fd, 32)));
+            close(fd);
+            return v;
+        }
+
+        fn main() {
+            let verbose_fd = open("/etc/sysstat.conf", 0);
+            let verbose = trim(read(verbose_fd, 8));
+            close(verbose_fd);
+            let user = read_counter("/proc/user");
+            let sys = read_counter("/proc/sys");
+            let idle = read_counter("/proc/idle");
+            let total = user + sys + idle;
+            if (total == 0) { total = 1; }
+            if (verbose == "1") {
+                write(2, "raw: " + str(user) + "/" + str(sys) + "/" + str(idle) + "\n");
+                write(2, "total: " + str(total) + "\n");
+            }
+            let out = open("/out/report.txt", 1);
+            write(out, "cpu user " + str(user * 100 / total) + "%\n");
+            write(out, "cpu sys " + str(sys * 100 / total) + "%\n");
+            close(out);
+        }
+    "#;
+    Workload {
+        name: "minstat",
+        stands_for: "Sysstat",
+        suite: Suite::NetSys,
+        source: source.to_string(),
+        world: VosConfig::new()
+            .file("/etc/sysstat.conf", "0")
+            .file("/proc/user", "420")
+            .file("/proc/sys", "120")
+            .file("/proc/idle", "460")
+            .dir("/out"),
+        sources: vec![SourceSpec::file("/proc/user")],
+        sinks: SinkSpec::FileOut,
+        benign_sources: Some(vec![SourceSpec {
+            matcher: SourceMatcher::FileRead("/etc/sysstat.conf".into()),
+            mutation: Mutation::Replace("1".into()),
+        }]),
+        expect_leak: true,
+    }
+}

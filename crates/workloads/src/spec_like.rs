@@ -1,0 +1,723 @@
+//! The 12 SPECINT2006 stand-ins.
+//!
+//! Each program is a small but real compute kernel exercising the control
+//! flow the corresponding SPEC program is known for (perlbench: an
+//! interpreter with indirect dispatch; gcc: a preprocessor; sjeng: deep
+//! recursion with a `setjmp` escape; omnetpp: an event loop over function
+//! references; …). Inputs come from data files; outputs go to local files
+//! (the paper's sink choice for non-network programs).
+
+use crate::{Suite, Workload};
+use ldx_dualex::{Mutation, SinkSpec, SourceSpec};
+use ldx_vos::VosConfig;
+
+fn banner_benign() -> Vec<SourceSpec> {
+    vec![SourceSpec::file("/etc/banner")]
+}
+
+pub(crate) fn workloads() -> Vec<Workload> {
+    vec![
+        minperl(),
+        minzip(),
+        minicc(),
+        minflow(),
+        minigo(),
+        minhmm(),
+        minchess(),
+        minquantum(),
+        minh264(),
+        minsim(),
+        minastar(),
+        minxform(),
+    ]
+}
+
+/// 400.perlbench: a toy script interpreter with an indirect dispatch table.
+fn minperl() -> Workload {
+    let source = r##"
+        global vars = [0, 0, 0, 0, 0, 0, 0, 0];
+
+        fn slot(name) {
+            return ord(name, 0) % 8;
+        }
+        fn op_set(a, b) { vars[slot(a)] = int(b); return 0; }
+        fn op_add(a, b) { vars[slot(a)] = vars[slot(a)] + int(b); return 0; }
+        fn op_mul(a, b) { vars[slot(a)] = vars[slot(a)] * int(b); return 0; }
+
+        fn run_line(line, out) {
+            let parts = split(trim(line), " ");
+            if (len(parts) == 0) { return 0; }
+            let cmd = parts[0];
+            if (cmd == "print") {
+                write(out, str(vars[slot(parts[1])]) + "\n");
+                return 0;
+            }
+            let table = [&op_set, &op_add, &op_mul];
+            let idx = 0 - 1;
+            if (cmd == "set") { idx = 0; }
+            if (cmd == "add") { idx = 1; }
+            if (cmd == "mul") { idx = 2; }
+            if (idx >= 0 && len(parts) >= 3) {
+                let handler = table[idx];
+                handler(parts[1], parts[2]);
+            }
+            return 0;
+        }
+
+        fn main() {
+            let bfd = open("/etc/banner", 0);
+            write(2, read(bfd, 64));
+            close(bfd);
+            let fd = open("/scripts/job.pl", 0);
+            let text = read(fd, 4096);
+            close(fd);
+            let out = open("/out/result", 1);
+            let lines = split(text, "\n");
+            for (let i = 0; i < len(lines); i = i + 1) {
+                run_line(lines[i], out);
+            }
+            close(out);
+        }
+    "##;
+    Workload {
+        name: "minperl",
+        stands_for: "400.perlbench",
+        suite: Suite::SpecLike,
+        source: source.to_string(),
+        world: VosConfig::new()
+            .file("/etc/banner", "minperl v1\n")
+            .file(
+                "/scripts/job.pl",
+                "set x 5\nadd x 7\nmul x 3\nprint x\nset y 2\nadd y 9\nprint y\n",
+            )
+            .dir("/out"),
+        sources: vec![SourceSpec::file("/scripts/job.pl")],
+        sinks: SinkSpec::FileOut,
+        benign_sources: Some(banner_benign()),
+        expect_leak: true,
+    }
+}
+
+/// 401.bzip2: run-length compression.
+fn minzip() -> Workload {
+    let source = r##"
+        fn rle(data) {
+            let out = "";
+            let i = 0;
+            while (i < len(data)) {
+                let c = data[i];
+                let run = 1;
+                while (i + run < len(data) && data[i + run] == c) {
+                    run = run + 1;
+                }
+                out = out + str(run) + c;
+                i = i + run;
+            }
+            return out;
+        }
+
+        fn main() {
+            let bfd = open("/etc/banner", 0);
+            write(2, read(bfd, 64));
+            close(bfd);
+            let fd = open("/data/input.txt", 0);
+            let out = open("/out/data.rle", 1);
+            let chunk = read(fd, 256);
+            while (chunk != "") {
+                write(out, rle(chunk));
+                chunk = read(fd, 256);
+            }
+            close(fd);
+            close(out);
+        }
+    "##;
+    Workload {
+        name: "minzip",
+        stands_for: "401.bzip2",
+        suite: Suite::SpecLike,
+        source: source.to_string(),
+        world: VosConfig::new()
+            .file(
+                "/data/input.txt",
+                "aaaabbbcccccccddddddddddabcabcaaaxyzzzzz",
+            )
+            .file("/etc/banner", "minzip\n")
+            .dir("/out"),
+        sources: vec![SourceSpec::file("/data/input.txt")],
+        sinks: SinkSpec::FileOut,
+        benign_sources: Some(banner_benign()),
+        expect_leak: true,
+    }
+}
+
+/// 403.gcc: a miniature C preprocessor (conditional compilation).
+fn minicc() -> Workload {
+    let source = r##"
+        global defines = ["", "", "", "", "", "", "", ""];
+        global ndef = 0;
+
+        fn is_defined(name) {
+            for (let i = 0; i < ndef; i = i + 1) {
+                if (defines[i] == name) { return 1; }
+            }
+            return 0;
+        }
+
+        fn define(name) {
+            if (is_defined(name) == 0) {
+                defines[ndef % 8] = name;
+                ndef = ndef + 1;
+            }
+            return 0;
+        }
+
+        fn preprocess(path, out, depth) {
+            if (depth > 4) { return 0; }
+            let fd = open(path, 0);
+            if (fd < 0) { return 0; }
+            let text = read(fd, 4096);
+            close(fd);
+            let lines = split(text, "\n");
+            let skipping = 0;
+            for (let i = 0; i < len(lines); i = i + 1) {
+                let line = trim(lines[i]);
+                if (find(line, "#define ") == 0) {
+                    if (skipping == 0) { define(substr(line, 8, 32)); }
+                } else if (find(line, "#ifdef ") == 0) {
+                    if (is_defined(substr(line, 7, 32)) == 0) { skipping = 1; }
+                } else if (line == "#endif") {
+                    skipping = 0;
+                } else if (find(line, "#include ") == 0) {
+                    if (skipping == 0) {
+                        preprocess("/src/" + substr(line, 9, 32), out, depth + 1);
+                    }
+                } else {
+                    if (skipping == 0 && line != "") {
+                        write(out, line + "\n");
+                    }
+                }
+            }
+            return 0;
+        }
+
+        fn main() {
+            let bfd = open("/etc/banner", 0);
+            write(2, read(bfd, 64));
+            close(bfd);
+            let out = open("/out/pp.c", 1);
+            preprocess("/src/main.c", out, 0);
+            close(out);
+        }
+    "##;
+    Workload {
+        name: "minicc",
+        stands_for: "403.gcc",
+        suite: Suite::SpecLike,
+        source: source.to_string(),
+        world: VosConfig::new()
+            .file(
+                "/src/config.h",
+                "#define HAVE_POLL\n#define FAST_PATH\n",
+            )
+            .file(
+                "/src/main.c",
+                "#include config.h\n#ifdef HAVE_POLL\nuse_poll();\n#endif\n#ifdef HAVE_EPOLL\nuse_epoll();\n#endif\nmain_body();\n",
+            )
+            .file("/etc/banner", "minicc\n")
+            .dir("/out"),
+        sources: vec![SourceSpec {
+            matcher: ldx_dualex::SourceMatcher::FileRead("/src/config.h".into()),
+            mutation: Mutation::Replace("#define HAVE_EPOLL\n#define FAST_PATH\n".into()),
+        }],
+        sinks: SinkSpec::FileOut,
+        benign_sources: Some(banner_benign()),
+        expect_leak: true,
+    }
+}
+
+/// 429.mcf: single-source shortest paths (Bellman–Ford) over an edge list.
+fn minflow() -> Workload {
+    let source = r##"
+        fn main() {
+            let bfd = open("/etc/banner", 0);
+            write(2, read(bfd, 64));
+            close(bfd);
+            let fd = open("/data/graph.txt", 0);
+            let text = read(fd, 4096);
+            close(fd);
+            let lines = split(trim(text), "\n");
+            let n = int(lines[0]);
+            if (n < 1) { n = 1; }
+            if (n > 32) { n = 32; }
+            let dist = array(n, 999999);
+            dist = set(dist, 0, 0);
+            for (let round = 0; round < n; round = round + 1) {
+                for (let e = 1; e < len(lines); e = e + 1) {
+                    let parts = split(trim(lines[e]), " ");
+                    if (len(parts) >= 3) {
+                        let u = int(parts[0]) % n;
+                        let v = int(parts[1]) % n;
+                        let w = int(parts[2]);
+                        if (dist[u] + w < dist[v]) {
+                            dist = set(dist, v, dist[u] + w);
+                        }
+                    }
+                }
+            }
+            let out = open("/out/dist.txt", 1);
+            for (let i = 0; i < n; i = i + 1) {
+                write(out, str(i) + ":" + str(dist[i]) + "\n");
+            }
+            close(out);
+        }
+    "##;
+    Workload {
+        name: "minflow",
+        stands_for: "429.mcf",
+        suite: Suite::SpecLike,
+        source: source.to_string(),
+        world: VosConfig::new()
+            .file(
+                "/data/graph.txt",
+                "6\n0 1 4\n0 2 1\n2 1 2\n1 3 5\n2 3 8\n3 4 3\n4 5 1\n1 5 9\n",
+            )
+            .file("/etc/banner", "minflow\n")
+            .dir("/out"),
+        sources: vec![SourceSpec::file("/data/graph.txt")],
+        sinks: SinkSpec::FileOut,
+        benign_sources: Some(banner_benign()),
+        expect_leak: true,
+    }
+}
+
+/// 445.gobmk: two-ply game-tree evaluation over a small board.
+fn minigo() -> Workload {
+    let source = r##"
+        fn score(board, pos, who) {
+            let s = 0;
+            let n = len(board);
+            if (pos > 0 && board[pos - 1] == who) { s = s + 2; }
+            if (pos + 1 < n && board[pos + 1] == who) { s = s + 2; }
+            if (board[pos] == ".") { s = s + 1; }
+            return s;
+        }
+
+        fn best_reply(board, who) {
+            let best = 0 - 99;
+            for (let p = 0; p < len(board); p = p + 1) {
+                if (board[p] == ".") {
+                    let s = score(board, p, who);
+                    if (s > best) { best = s; }
+                }
+            }
+            return best;
+        }
+
+        fn main() {
+            let bfd = open("/etc/banner", 0);
+            write(2, read(bfd, 64));
+            close(bfd);
+            let fd = open("/data/board.txt", 0);
+            let board = trim(read(fd, 128));
+            close(fd);
+            let bestmove = 0 - 1;
+            let bestval = 0 - 999;
+            for (let p = 0; p < len(board); p = p + 1) {
+                if (board[p] == ".") {
+                    let mine = score(board, p, "x");
+                    let reply = best_reply(board, "o");
+                    let v = mine * 2 - reply;
+                    if (v > bestval) {
+                        bestval = v;
+                        bestmove = p;
+                    }
+                }
+            }
+            let xs = 0;
+            let os = 0;
+            for (let c = 0; c < len(board); c = c + 1) {
+                if (board[c] == "x") { xs = xs + 1; }
+                if (board[c] == "o") { os = os + 1; }
+            }
+            let out = open("/out/move.txt", 1);
+            write(out, "move " + str(bestmove) + " value " + str(bestval) + "\n");
+            write(out, "stones x=" + str(xs) + " o=" + str(os) + "\n");
+            close(out);
+        }
+    "##;
+    Workload {
+        name: "minigo",
+        stands_for: "445.gobmk",
+        suite: Suite::SpecLike,
+        source: source.to_string(),
+        world: VosConfig::new()
+            .file("/data/board.txt", "x.o.xx..o.x....o")
+            .file("/etc/banner", "minigo\n")
+            .dir("/out"),
+        sources: vec![SourceSpec::file("/data/board.txt")],
+        sinks: SinkSpec::FileOut,
+        benign_sources: Some(banner_benign()),
+        expect_leak: true,
+    }
+}
+
+/// 456.hmmer: dynamic-programming sequence alignment score.
+fn minhmm() -> Workload {
+    let source = r##"
+        fn main() {
+            let fd = open("/data/seqs.txt", 0);
+            let text = trim(read(fd, 512));
+            close(fd);
+            let parts = split(text, "\n");
+            let a = parts[0];
+            let b = parts[1];
+            let la = len(a);
+            let lb = len(b);
+            let prev = array(lb + 1, 0);
+            for (let i = 0; i < la; i = i + 1) {
+                let cur = array(lb + 1, 0);
+                for (let j = 0; j < lb; j = j + 1) {
+                    let diag = prev[j];
+                    if (a[i] == b[j]) { diag = diag + 3; }
+                    else { diag = diag - 1; }
+                    let up = prev[j + 1] - 2;
+                    let left = cur[j] - 2;
+                    let best = max(diag, max(up, left));
+                    cur = set(cur, j + 1, best);
+                }
+                prev = cur;
+            }
+            let out = open("/out/score.txt", 1);
+            write(out, "score=" + str(prev[lb]) + "\n");
+            close(out);
+        }
+    "##;
+    Workload {
+        name: "minhmm",
+        stands_for: "456.hmmer",
+        suite: Suite::SpecLike,
+        source: source.to_string(),
+        world: VosConfig::new()
+            .file("/data/seqs.txt", "ACGTACGGTAC\nACGGACGTTAC\n")
+            .dir("/out"),
+        sources: vec![SourceSpec::file("/data/seqs.txt")],
+        sinks: SinkSpec::FileOut,
+        benign_sources: None,
+        expect_leak: true,
+    }
+}
+
+/// 458.sjeng: recursive negamax with a setjmp "search timeout" escape.
+fn minchess() -> Workload {
+    let source = r##"
+        global nodes = 0;
+
+        fn evaluate(pieces, depth, sign) {
+            nodes = nodes + 1;
+            if (nodes > 200) { longjmp(nodes); }
+            if (depth == 0 || pieces <= 0) {
+                return sign * pieces;
+            }
+            let best = 0 - 9999;
+            for (let m = 1; m <= 3; m = m + 1) {
+                let v = 0 - evaluate(pieces - m, depth - 1, 0 - sign);
+                if (v > best) { best = v; }
+            }
+            return best;
+        }
+
+        fn main() {
+            let bfd = open("/etc/banner", 0);
+            write(2, read(bfd, 64));
+            close(bfd);
+            let fd = open("/data/position.txt", 0);
+            let pieces = int(trim(read(fd, 16)));
+            close(fd);
+            let out = open("/out/best.txt", 1);
+            let code = setjmp();
+            if (code == 0) {
+                let v = evaluate(pieces, 4, 1);
+                write(out, "value " + str(v) + " nodes " + str(nodes) + "\n");
+            } else {
+                write(out, "timeout after " + str(code) + " nodes\n");
+            }
+            close(out);
+        }
+    "##;
+    Workload {
+        name: "minchess",
+        stands_for: "458.sjeng",
+        suite: Suite::SpecLike,
+        source: source.to_string(),
+        world: VosConfig::new()
+            .file("/data/position.txt", "9")
+            .file("/etc/banner", "minchess\n")
+            .dir("/out"),
+        sources: vec![SourceSpec::file("/data/position.txt")],
+        sinks: SinkSpec::FileOut,
+        benign_sources: Some(banner_benign()),
+        expect_leak: true,
+    }
+}
+
+/// 462.libquantum: amplitude-register transforms.
+fn minquantum() -> Workload {
+    let source = r##"
+        fn main() {
+            let fd = open("/data/gates.txt", 0);
+            let text = trim(read(fd, 512));
+            close(fd);
+            let lines = split(text, "\n");
+            let reg = array(8, 1);
+            for (let g = 0; g < len(lines); g = g + 1) {
+                let parts = split(trim(lines[g]), " ");
+                let gate = parts[0];
+                let target = int(parts[1]) % 8;
+                if (gate == "x") {
+                    reg = set(reg, target, 0 - reg[target]);
+                } else if (gate == "h") {
+                    for (let i = 0; i < 8; i = i + 1) {
+                        if (i % 2 == target % 2) {
+                            reg = set(reg, i, reg[i] * 2);
+                        }
+                    }
+                } else if (gate == "cz") {
+                    reg = set(reg, target, reg[target] * reg[(target + 1) % 8]);
+                }
+            }
+            let sum = 0;
+            let dump = "";
+            for (let i = 0; i < 8; i = i + 1) {
+                sum = sum + reg[i] * reg[i];
+                dump = dump + str(reg[i]) + " ";
+            }
+            let out = open("/out/norm.txt", 1);
+            write(out, "norm=" + str(sum) + "\n");
+            write(out, "reg= " + dump + "\n");
+            close(out);
+        }
+    "##;
+    Workload {
+        name: "minquantum",
+        stands_for: "462.libquantum",
+        suite: Suite::SpecLike,
+        source: source.to_string(),
+        world: VosConfig::new()
+            .file("/data/gates.txt", "x 3\nh 2\ncz 1\nh 5\nx 0\ncz 6\n")
+            .dir("/out"),
+        sources: vec![SourceSpec::file("/data/gates.txt")],
+        sinks: SinkSpec::FileOut,
+        benign_sources: None,
+        expect_leak: true,
+    }
+}
+
+/// 464.h264ref: block-based delta encoding of "frames".
+fn minh264() -> Workload {
+    let source = r##"
+        fn encode_row(prevrow, row, out) {
+            let line = "";
+            for (let i = 0; i < len(row); i = i + 1) {
+                let cur = ord(row, i);
+                let ref = 0;
+                if (i < len(prevrow)) { ref = ord(prevrow, i); }
+                let delta = cur - ref;
+                line = line + str(delta) + ",";
+            }
+            write(out, line + "\n");
+            return 0;
+        }
+
+        fn main() {
+            let bfd = open("/etc/banner", 0);
+            write(2, read(bfd, 64));
+            close(bfd);
+            let fd = open("/data/frames.txt", 0);
+            let text = trim(read(fd, 2048));
+            close(fd);
+            let rows = split(text, "\n");
+            let out = open("/out/stream.txt", 1);
+            let prev = "";
+            for (let r = 0; r < len(rows); r = r + 1) {
+                encode_row(prev, rows[r], out);
+                prev = rows[r];
+            }
+            close(out);
+        }
+    "##;
+    Workload {
+        name: "minh264",
+        stands_for: "464.h264ref",
+        suite: Suite::SpecLike,
+        source: source.to_string(),
+        world: VosConfig::new()
+            .file(
+                "/data/frames.txt",
+                "abcdabcd\nabddabce\nacddabce\nacddbbce\n",
+            )
+            .file("/etc/banner", "minh264\n")
+            .dir("/out"),
+        sources: vec![SourceSpec::file("/data/frames.txt")],
+        sinks: SinkSpec::FileOut,
+        benign_sources: Some(banner_benign()),
+        expect_leak: true,
+    }
+}
+
+/// 471.omnetpp: a discrete event loop with indirect handlers.
+fn minsim() -> Workload {
+    let source = r##"
+        global queue_len = 0;
+        global dropped = 0;
+        global delivered = 0;
+
+        fn ev_arrive(n) {
+            if (queue_len + n > 10) { dropped = dropped + n; }
+            else { queue_len = queue_len + n; }
+            return 0;
+        }
+        fn ev_depart(n) {
+            let take = min(n, queue_len);
+            queue_len = queue_len - take;
+            delivered = delivered + take;
+            return 0;
+        }
+
+        fn main() {
+            let fd = open("/data/events.txt", 0);
+            let text = trim(read(fd, 1024));
+            close(fd);
+            let lines = split(text, "\n");
+            for (let i = 0; i < len(lines); i = i + 1) {
+                let parts = split(trim(lines[i]), " ");
+                let handler = &ev_depart;
+                if (parts[0] == "arrive") { handler = &ev_arrive; }
+                handler(int(parts[1]));
+            }
+            let out = open("/out/sim.txt", 1);
+            write(out, "delivered=" + str(delivered) + " dropped=" + str(dropped) + "\n");
+            close(out);
+        }
+    "##;
+    Workload {
+        name: "minsim",
+        stands_for: "471.omnetpp",
+        suite: Suite::SpecLike,
+        source: source.to_string(),
+        world: VosConfig::new()
+            .file(
+                "/data/events.txt",
+                "arrive 4\narrive 5\ndepart 3\narrive 6\ndepart 9\narrive 2\ndepart 1\n",
+            )
+            .dir("/out"),
+        sources: vec![SourceSpec::file("/data/events.txt")],
+        sinks: SinkSpec::FileOut,
+        benign_sources: None,
+        expect_leak: true,
+    }
+}
+
+/// 473.astar: greedy grid pathfinding.
+fn minastar() -> Workload {
+    let source = r##"
+        fn main() {
+            let fd = open("/data/grid.txt", 0);
+            let text = trim(read(fd, 1024));
+            close(fd);
+            let rows = split(text, "\n");
+            let h = len(rows);
+            let w = len(rows[0]);
+            let x = 0;
+            let y = 0;
+            let path = "";
+            let steps = 0;
+            while ((x < w - 1 || y < h - 1) && steps < 64) {
+                steps = steps + 1;
+                let right_ok = 0;
+                if (x + 1 < w && rows[y][x + 1] != "#") { right_ok = 1; }
+                let down_ok = 0;
+                if (y + 1 < h && rows[y + 1][x] != "#") { down_ok = 1; }
+                if (right_ok == 1 && (x - y <= 0 || down_ok == 0)) {
+                    x = x + 1;
+                    path = path + "R";
+                } else if (down_ok == 1) {
+                    y = y + 1;
+                    path = path + "D";
+                } else {
+                    path = path + "!";
+                    steps = 64;
+                }
+            }
+            let out = open("/out/path.txt", 1);
+            write(out, path + "\n");
+            close(out);
+        }
+    "##;
+    Workload {
+        name: "minastar",
+        stands_for: "473.astar",
+        suite: Suite::SpecLike,
+        source: source.to_string(),
+        world: VosConfig::new()
+            .file("/data/grid.txt", ".....\n.##..\n...#.\n.#...\n.....\n")
+            .dir("/out"),
+        sources: vec![SourceSpec {
+            matcher: ldx_dualex::SourceMatcher::FileRead("/data/grid.txt".into()),
+            // The grid has no alphanumeric characters for off-by-one to
+            // bump; the mutation moves a wall instead.
+            mutation: Mutation::Replace(".....\n.##..\n..####\n.#...\n.....\n".into()),
+        }],
+        sinks: SinkSpec::FileOut,
+        benign_sources: None,
+        expect_leak: true,
+    }
+}
+
+/// 483.xalancbmk: a recursive tag transformer.
+fn minxform() -> Workload {
+    let source = r##"
+        fn transform(text, out) {
+            let i = 0;
+            while (i < len(text)) {
+                let c = text[i];
+                if (c == "<") {
+                    let end = i + 1;
+                    while (end < len(text) && text[end] != ">") { end = end + 1; }
+                    let tag = substr(text, i + 1, end - i - 1);
+                    write(out, "[" + upper(tag) + "]");
+                    i = end + 1;
+                } else {
+                    write(out, c);
+                    i = i + 1;
+                }
+            }
+            return 0;
+        }
+
+        fn main() {
+            let bfd = open("/etc/banner", 0);
+            write(2, read(bfd, 64));
+            close(bfd);
+            let fd = open("/data/doc.xml", 0);
+            let text = trim(read(fd, 2048));
+            close(fd);
+            let out = open("/out/doc.out", 1);
+            transform(text, out);
+            close(out);
+        }
+    "##;
+    Workload {
+        name: "minxform",
+        stands_for: "483.xalancbmk",
+        suite: Suite::SpecLike,
+        source: source.to_string(),
+        world: VosConfig::new()
+            .file("/data/doc.xml", "<doc>hello <b>world</b> bye</doc>")
+            .file("/etc/banner", "minxform\n")
+            .dir("/out"),
+        sources: vec![SourceSpec::file("/data/doc.xml")],
+        sinks: SinkSpec::FileOut,
+        benign_sources: Some(banner_benign()),
+        expect_leak: true,
+    }
+}

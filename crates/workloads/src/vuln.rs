@@ -1,0 +1,285 @@
+//! The 6 vulnerable-program stand-ins (gif2png, mp3info, prozilla, yops,
+//! ngircd, gcc) for attack detection.
+//!
+//! The paper mutates untrusted inputs and watches *critical execution
+//! points*: function return addresses (buffer overflows) and memory-
+//! management arguments (integer overflows). Lx has no raw memory, so each
+//! program funnels its critical value through a one-line `guard`
+//! function — `write(3, str(v))` at site 0 — and the sink spec is
+//! `Sites([("guard", 0)])`. Three of the six corrupt the critical value
+//! through *data* flow (dependence-based tainting can catch them too) and
+//! three through *control* flow (length/validity checks) — only
+//! counterfactual causality catches those, reproducing Table 3's gap.
+
+use crate::{Suite, Workload};
+use ldx_dualex::{SinkSpec, SourceSpec};
+use ldx_vos::{PeerBehavior, VosConfig};
+
+fn guard_sinks() -> SinkSpec {
+    SinkSpec::Sites(vec![("guard".into(), 0)])
+}
+
+pub(crate) fn workloads() -> Vec<Workload> {
+    vec![minimg(), mintag(), minget(), minyops(), minirc(), minasm()]
+}
+
+/// gif2png: header length field drives a copy loop (data-flow overflow).
+fn minimg() -> Workload {
+    let source = r#"
+        fn guard(v) { write(3, str(v)); return 0; }
+
+        fn convert(header, pixels) {
+            // "stack buffer" of 8 cells with the return address after it.
+            let frame = array(10, 0);
+            frame = set(frame, 9, 4096);      // return address slot
+            let count = int(substr(header, 4, 4));
+            for (let i = 0; i < count && i < 10; i = i + 1) {
+                let px = 0;
+                if (i < len(pixels)) { px = ord(pixels, i); }
+                frame = set(frame, i, px);     // overflow: count > 8
+            }
+            guard(frame[9]);
+            return 0;
+        }
+
+        fn main() {
+            let fd = open("/input/image.gif", 0);
+            let header = read(fd, 8);
+            let pixels = read(fd, 64);
+            close(fd);
+            convert(header, pixels);
+        }
+    "#;
+    Workload {
+        name: "minimg",
+        stands_for: "Gif2png",
+        suite: Suite::Vulnerable,
+        source: source.to_string(),
+        // count=0010 with >8 overflows into the "return address" slot.
+        world: VosConfig::new().file("/input/image.gif", "GIF80010ABCDEFGHIJ"),
+        sources: vec![SourceSpec::file("/input/image.gif")],
+        sinks: guard_sinks(),
+        benign_sources: None,
+        expect_leak: true,
+    }
+}
+
+/// mp3info: tag size flows into an allocation size (integer overflow).
+fn mintag() -> Workload {
+    let source = r#"
+        fn guard(v) { write(3, str(v)); return 0; }
+
+        fn main() {
+            let fd = open("/input/song.mp3", 0);
+            let tag = read(fd, 32);
+            close(fd);
+            if (find(tag, "TAG") != 0) {
+                write(2, "no tag\n");
+                return;
+            }
+            let frames = int(substr(tag, 3, 4));
+            let framesize = int(substr(tag, 7, 4));
+            // Integer overflow: the allocation size wraps through
+            // multiplication of attacker-controlled fields.
+            let alloc = frames * framesize;
+            guard(alloc);
+            let buf = array(min(alloc, 64), 0);
+            write(2, "parsed " + str(len(buf)) + " cells\n");
+        }
+    "#;
+    Workload {
+        name: "mintag",
+        stands_for: "Mp3info",
+        suite: Suite::Vulnerable,
+        source: source.to_string(),
+        world: VosConfig::new().file("/input/song.mp3", "TAG00120256"),
+        sources: vec![SourceSpec::file("/input/song.mp3")],
+        sinks: guard_sinks(),
+        benign_sources: None,
+        expect_leak: true,
+    }
+}
+
+/// prozilla: server-controlled chunk size overflows through a *control*
+/// decision (the length check itself is the corrupted step).
+fn minget() -> Workload {
+    let source = r#"
+        fn guard(v) { write(3, str(v)); return 0; }
+
+        fn main() {
+            let s = connect("mirror.example");
+            send(s, "GET file");
+            let head = recv(s, 16);
+            let body = recv(s, 128);
+            close(s);
+            let retaddr = 4096;
+            // Control-dependent corruption: an oversized response smashes
+            // the frame, which manifests as a *fixed* corrupted value —
+            // there is no data flow from the input to the new value.
+            if (len(body) > 24) {
+                retaddr = 0;
+            }
+            guard(retaddr);
+            let out = open("/out/file", 1);
+            write(out, substr(body, 0, 24));
+            close(out);
+        }
+    "#;
+    Workload {
+        name: "minget",
+        stands_for: "Prozilla",
+        suite: Suite::Vulnerable,
+        source: source.to_string(),
+        world: VosConfig::new()
+            .peer(
+                "mirror.example",
+                PeerBehavior::Script(vec!["len=23".into(), "aaaaaaaaaaaaaaaaaaaaaaa".into()]),
+            )
+            .dir("/out"),
+        sources: vec![SourceSpec {
+            matcher: ldx_dualex::SourceMatcher::NetRecv("mirror.example".into()),
+            mutation: ldx_dualex::Mutation::Replace("aaaaaaaaaaaaaaaaaaaaaaaaaaaaaa".into()),
+        }],
+        sinks: guard_sinks(),
+        benign_sources: None,
+        expect_leak: true,
+    }
+}
+
+/// yops: request-path length check bypass (control-flow corruption).
+fn minyops() -> Workload {
+    let source = r#"
+        fn guard(v) { write(3, str(v)); return 0; }
+
+        fn handle(conn) {
+            let req = trim(recv(conn, 128));
+            let retaddr = 4096;
+            let path = "";
+            if (find(req, "GET ") == 0) {
+                path = substr(req, 4, 120);
+                // The "stack buffer" holds 16 chars; a longer path
+                // clobbers the saved return address with a canary value
+                // (control-dependent, no data flow).
+                if (len(path) > 16) {
+                    retaddr = 666;
+                }
+            }
+            guard(retaddr);
+            if (retaddr == 4096) {
+                send(conn, "200 ok " + path);
+            } else {
+                send(conn, "500");
+            }
+            return 0;
+        }
+
+        fn main() {
+            let conn = accept(80);
+            while (conn >= 0) {
+                handle(conn);
+                close(conn);
+                conn = accept(80);
+            }
+        }
+    "#;
+    Workload {
+        name: "minyops",
+        stands_for: "Yops",
+        suite: Suite::Vulnerable,
+        source: source.to_string(),
+        world: VosConfig::new().listen(80, vec!["GET /index.html".into()]),
+        sources: vec![SourceSpec {
+            matcher: ldx_dualex::SourceMatcher::ClientRecv(80),
+            mutation: ldx_dualex::Mutation::Replace("GET /AAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAA".into()),
+        }],
+        sinks: guard_sinks(),
+        benign_sources: None,
+        expect_leak: true,
+    }
+}
+
+/// ngircd: nickname parsing overflow (data flow into the critical value).
+fn minirc() -> Workload {
+    let source = r#"
+        fn guard(v) { write(3, str(v)); return 0; }
+
+        fn main() {
+            let conn = accept(6667);
+            if (conn < 0) { return; }
+            let line = trim(recv(conn, 128));
+            let retaddr = 4096;
+            if (find(line, "NICK ") == 0) {
+                let nick = substr(line, 5, 120);
+                if (len(nick) > 9) {
+                    // The overflowing bytes *become* the return address.
+                    retaddr = int(substr(nick, 9, 8));
+                }
+                send(conn, "001 welcome " + substr(nick, 0, 9));
+            }
+            guard(retaddr);
+            close(conn);
+        }
+    "#;
+    Workload {
+        name: "minirc",
+        stands_for: "Ngircd",
+        suite: Suite::Vulnerable,
+        source: source.to_string(),
+        world: VosConfig::new().listen(6667, vec!["NICK alice".into()]),
+        sources: vec![SourceSpec {
+            matcher: ldx_dualex::SourceMatcher::ClientRecv(6667),
+            mutation: ldx_dualex::Mutation::Replace("NICK aaaaaaaaa99990000".into()),
+        }],
+        sinks: guard_sinks(),
+        benign_sources: None,
+        expect_leak: true,
+    }
+}
+
+/// gcc (vulnerable build): macro-expansion depth overflow (control flow).
+fn minasm() -> Workload {
+    let source = r#"
+        fn guard(v) { write(3, str(v)); return 0; }
+
+        fn expand(text, depth) {
+            if (depth > 6) { return "OVERFLOW"; }
+            let idx = find(text, "$M");
+            if (idx < 0) { return text; }
+            let head = substr(text, 0, idx);
+            let tail = substr(text, idx + 2, 256);
+            return expand(head + "mac()" + tail, depth + 1);
+        }
+
+        fn main() {
+            let fd = open("/input/prog.s", 0);
+            let text = trim(read(fd, 256));
+            close(fd);
+            let expanded = expand(text, 0);
+            let retaddr = 4096;
+            if (expanded == "OVERFLOW") {
+                // Expansion blew the stack: corrupted return.
+                retaddr = 0;
+            }
+            guard(retaddr);
+            let out = open("/out/prog.o", 1);
+            write(out, expanded);
+            close(out);
+        }
+    "#;
+    Workload {
+        name: "minasm",
+        stands_for: "Gcc (vulnerable)",
+        suite: Suite::Vulnerable,
+        source: source.to_string(),
+        world: VosConfig::new()
+            .file("/input/prog.s", "start $M end")
+            .dir("/out"),
+        sources: vec![SourceSpec {
+            matcher: ldx_dualex::SourceMatcher::FileRead("/input/prog.s".into()),
+            mutation: ldx_dualex::Mutation::Replace("start $M$M$M$M$M$M$M$M end".into()),
+        }],
+        sinks: guard_sinks(),
+        benign_sources: None,
+        expect_leak: true,
+    }
+}

@@ -1,0 +1,68 @@
+//! The analysis extensions: pinning causality on a *specific* source and
+//! estimating its *strength* (paper §2's strong/one-to-one vs
+//! weak/many-to-one distinction, probed empirically).
+//!
+//! Run: `cargo run --example strength_and_attribution`
+
+use ldx::vos::{PeerBehavior, VosConfig};
+use ldx::{Analysis, Mutation, SinkSpec, SourceSpec};
+
+fn main() -> Result<(), ldx::Error> {
+    // A service that consults three inputs but leaks only some of them —
+    // and one of those only coarsely.
+    let analysis = Analysis::for_source(
+        r#"
+        fn main() {
+            let user = trim(read(open("/etc/username", 0), 16));
+            let balance = int(trim(read(open("/db/balance", 0), 16)));
+            let theme = trim(read(open("/etc/theme", 0), 16));
+
+            // The username flows out verbatim: a strong leak.
+            // The balance flows out only as a rich/poor bit: a weak one.
+            // The theme never leaves the machine.
+            let tier = "basic";
+            if (balance > 1000000) { tier = "premium"; }
+            write(2, "theme=" + theme);
+            send(connect("analytics.example"), user + ":" + tier);
+        }
+        "#,
+    )?
+    .world(
+        VosConfig::new()
+            .file("/etc/username", "ada")
+            .file("/db/balance", "5000")
+            .file("/etc/theme", "dark")
+            .peer("analytics.example", PeerBehavior::Echo),
+    )
+    .source(SourceSpec::file("/etc/username"))
+    .source(SourceSpec::file("/db/balance"))
+    .source(SourceSpec::file("/etc/theme"))
+    .sinks(SinkSpec::NetworkOut);
+
+    println!("combined run: leaked = {}\n", analysis.run().leaked());
+
+    println!("per-source attribution:");
+    for attr in analysis.attribute_sources() {
+        println!(
+            "  source #{} {:?}: {}",
+            attr.index,
+            attr.source.matcher,
+            if attr.causal { "CAUSAL" } else { "inert" }
+        );
+    }
+
+    println!("\ncausal strength of the first source (username):");
+    let s = analysis.causal_strength(&[Mutation::Replace("grace".into())]);
+    println!(
+        "  {}/{} probes observable -> score {:.2} ({})",
+        s.flipped,
+        s.probed,
+        s.score(),
+        if s.is_strong() {
+            "strong, one-to-one"
+        } else {
+            "weak / partial"
+        }
+    );
+    Ok(())
+}

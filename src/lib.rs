@@ -1,0 +1,6 @@
+//! Workspace facade for the LDX reproduction.
+//!
+//! This package only exists to host the cross-crate integration tests in
+//! `tests/` and the runnable examples in `examples/`. Downstream users should
+//! depend on the [`ldx`] crate directly.
+pub use ldx;

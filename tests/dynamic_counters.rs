@@ -1,0 +1,90 @@
+//! Dynamic counter invariants over the whole corpus (paper Table 1's
+//! "Dyn. Cnt." observation: runtime counter values stay within the static
+//! bounds, and the average sits well below the maximum).
+
+use ldx_runtime::{run_program, ExecConfig, NativeHooks};
+use ldx_vos::Vos;
+use std::sync::Arc;
+
+#[test]
+fn runtime_counters_respect_static_bounds() {
+    for w in ldx_workloads::corpus() {
+        let instrumented = w.instrumented();
+        let static_max = (0..instrumented.program().functions.len())
+            .map(|i| instrumented.fcnt(ldx_ir::FuncId(i as u32)))
+            .max()
+            .unwrap_or(0);
+        let program = Arc::new(instrumented.into_program());
+        let vos = Arc::new(Vos::new(&w.world));
+        let hooks = Arc::new(NativeHooks::new(vos));
+        let out = run_program(program, hooks, ExecConfig::default())
+            .unwrap_or_else(|e| panic!("`{}` traps: {e}", w.name));
+        assert!(
+            out.stats.cnt_max <= static_max,
+            "`{}`: dynamic counter {} exceeds static bound {}",
+            w.name,
+            out.stats.cnt_max,
+            static_max
+        );
+        assert!(
+            out.stats.cnt_avg() <= out.stats.cnt_max as f64,
+            "`{}`: average above maximum",
+            w.name
+        );
+        assert!(
+            out.stats.max_counter_depth >= 1,
+            "`{}`: counter stack must exist",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn instrumentation_reports_are_internally_consistent() {
+    for w in ldx_workloads::corpus() {
+        let instrumented = w.instrumented();
+        let report = instrumented.report();
+        for f in &report.functions {
+            assert!(
+                f.compensation_instrs <= f.added_instrs,
+                "`{}::{}`: more compensations than added instructions",
+                w.name,
+                f.name
+            );
+            assert!(
+                f.output_syscall_sites <= f.syscall_sites,
+                "`{}::{}`: sinks exceed syscalls",
+                w.name,
+                f.name
+            );
+        }
+        // max_cnt is FCNT of main, which must match the per-function row.
+        let main_row = report
+            .functions
+            .iter()
+            .find(|f| f.name == "main")
+            .expect("main exists");
+        assert_eq!(report.max_cnt, main_row.fcnt, "`{}`", w.name);
+        // The report's Display renders every function.
+        let text = report.to_string();
+        for f in &report.functions {
+            assert!(
+                text.contains(&f.name),
+                "`{}`: display misses {}",
+                w.name,
+                f.name
+            );
+        }
+    }
+}
+
+#[test]
+fn instrumented_ir_dump_renders_loop_markers() {
+    let w = ldx_workloads::by_name("minzip").expect("exists");
+    let program = w.program();
+    let text = ldx_ir::display::program_to_string(&program);
+    assert!(text.contains("loop_enter"), "dump: {text}");
+    assert!(text.contains("loop_backedge"));
+    assert!(text.contains("loop_exit"));
+    assert!(text.contains("cnt +="));
+}
