@@ -20,8 +20,8 @@ pub fn mutate_config(config: &VosConfig, sources: &[SourceSpec]) -> VosConfig {
 }
 
 fn mutate_str(mutation: &Mutation, s: &str) -> String {
-    match mutation.apply(&Value::Str(s.to_string())) {
-        Value::Str(out) => out,
+    match mutation.apply(&Value::str(s)) {
+        Value::Str(out) => out.to_string(),
         other => other.stringify(),
     }
 }

@@ -8,25 +8,50 @@
 //! but no compensation, no loop barriers, no fresh frames) — and compares
 //! false reports and alignment quality.
 //!
+//! The (instrumented, naive) pairs run as one flat batch on the
+//! work-stealing pool; the instrumentation cache supplies both compiled
+//! forms from one parse each.
+//!
 //! Run: `cargo run -p ldx-bench --bin ablation_compensation`
 
-use ldx_dualex::dual_execute;
+use ldx::{BatchEngine, BatchJob, InstrumentCache};
 
 fn main() {
     println!(
         "{:<12} {:>12} {:>12} {:>14} {:>14}",
         "program", "false+instr", "false-naive", "shared+instr", "shared-naive"
     );
+    let workloads: Vec<_> = ldx_workloads::corpus()
+        .into_iter()
+        .filter(|w| w.benign_spec().is_some())
+        .collect();
+    let engine = BatchEngine::auto();
+    let cache = InstrumentCache::new();
+
+    let mut jobs = Vec::with_capacity(workloads.len() * 2);
+    for w in &workloads {
+        let spec = w.benign_spec().expect("filtered above");
+        jobs.push(BatchJob::new(
+            format!("{}/instr", w.name),
+            cache.program(&w.source).expect("workload compiles"),
+            w.world.clone(),
+            spec.clone(),
+        ));
+        jobs.push(BatchJob::new(
+            format!("{}/naive", w.name),
+            cache.uninstrumented(&w.source).expect("workload compiles"),
+            w.world.clone(),
+            spec,
+        ));
+    }
+    let batch = engine.run(jobs);
+
     let mut false_instr = 0u32;
     let mut false_naive = 0u32;
-    let mut rows = 0u32;
-    for w in ldx_workloads::corpus() {
-        let Some(spec) = w.benign_spec() else {
-            continue;
-        };
-        rows += 1;
-        let instrumented = dual_execute(w.program(), &w.world, &spec);
-        let naive = dual_execute(w.program_uninstrumented(), &w.world, &spec);
+    let rows = workloads.len() as u32;
+    for (w, pair) in workloads.iter().zip(batch.results.chunks(2)) {
+        let instrumented = &pair[0].report;
+        let naive = &pair[1].report;
         if instrumented.leaked() {
             false_instr += 1;
         }
@@ -50,5 +75,12 @@ fn main() {
         "expected shape: compensation keeps false reports at 0; the naive \
          counter loses alignment after any path difference, producing \
          spurious sink mismatches and fewer shared outcomes."
+    );
+    eprintln!(
+        "[batch] workers={} jobs={} utilization={:.0}% compiles={}",
+        batch.workers,
+        batch.results.len(),
+        batch.utilization() * 100.0,
+        cache.compiles(),
     );
 }

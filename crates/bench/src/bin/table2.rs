@@ -9,8 +9,13 @@
 //! syscall differences LDX tolerated and their fraction of the master's
 //! dynamic syscalls.
 //!
+//! Rows (each a leak + benign + two TightLip runs) execute on the batch
+//! engine's pool and print in submission order — byte-identical to a
+//! sequential run.
+//!
 //! Run: `cargo run -p ldx-bench --bin table2`
 
+use ldx::{BatchEngine, InstrumentCache};
 use ldx_baselines::tightlip_execute;
 use ldx_dualex::dual_execute;
 use ldx_runtime::ExecConfig;
@@ -31,8 +36,11 @@ fn main() {
     );
     let mut workloads = by_suite(Suite::NetSys);
     workloads.extend(by_suite(Suite::SpecLike));
-    for w in workloads {
-        let program = w.program();
+
+    let engine = BatchEngine::auto();
+    let cache = InstrumentCache::new();
+    let rows = engine.map_ordered(workloads, |w| {
+        let program = cache.program(&w.source).expect("workload compiles");
 
         // Input 1: the leaking mutation.
         let r1 = dual_execute(program.clone(), &w.world, &w.dual_spec());
@@ -72,7 +80,7 @@ fn main() {
             None => ("-", "-", 0, 0.0),
         };
 
-        println!(
+        format!(
             "{:<10} {:>6} {:>6} {:>9} {:>9} {:>12} {:>7.2}%",
             w.name,
             verdict(r1.leaked()),
@@ -81,11 +89,21 @@ fn main() {
             tl2,
             diffs,
             pct,
-        );
+        )
+    });
+
+    for line in rows {
+        println!("{line}");
     }
     println!(
         "\nexpected shape: LDX column 2 is X wherever a benign mutation exists, \
          while TightLip reports O for both inputs whenever the mutation \
          perturbs the syscall stream (paper §8.2)."
+    );
+    eprintln!(
+        "[batch] workers={} compiles={} cache-hits={}",
+        engine.workers(),
+        cache.compiles(),
+        cache.hits()
     );
 }

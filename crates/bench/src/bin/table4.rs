@@ -8,32 +8,55 @@
 //! are stable except for the programs whose racy statistics feed the sink
 //! (the paper's axel and x264; here `mtget` and `mtenc`).
 //!
+//! All `workloads × N` dual executions are submitted as one flat batch to
+//! the work-stealing pool; the submission-ordered results are then
+//! re-chunked per program, so the aggregation is schedule-independent.
+//!
 //! Run: `cargo run -p ldx-bench --bin table4 [runs]`
 
+use ldx::{BatchEngine, BatchJob, InstrumentCache};
 use ldx_bench::{mean, stddev};
-use ldx_dualex::dual_execute;
 use ldx_workloads::{by_suite, Suite};
 
 fn main() {
     let runs: usize = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
-        .unwrap_or(100);
+        .unwrap_or(100)
+        .max(1);
     println!("{runs} dual executions per program\n");
     println!(
         "{:<10} {:>28} {:>28}",
         "program", "syscall diffs (min/max/std)", "tainted sinks (min/max/std)"
     );
-    for w in by_suite(Suite::Concurrent) {
-        let program = w.program();
+    let workloads = by_suite(Suite::Concurrent);
+    let engine = BatchEngine::auto();
+    let cache = InstrumentCache::new();
+
+    let mut jobs = Vec::with_capacity(workloads.len() * runs);
+    for w in &workloads {
+        let program = cache.program(&w.source).expect("workload compiles");
         let spec = w.dual_spec();
-        let mut diffs = Vec::with_capacity(runs);
-        let mut sinks = Vec::with_capacity(runs);
-        for _ in 0..runs {
-            let r = dual_execute(program.clone(), &w.world, &spec);
-            diffs.push(r.syscall_diffs as f64);
-            sinks.push(r.tainted_sinks() as f64);
+        for run in 0..runs {
+            jobs.push(BatchJob::new(
+                format!("{}#{run}", w.name),
+                program.clone(),
+                w.world.clone(),
+                spec.clone(),
+            ));
         }
+    }
+    let batch = engine.run(jobs);
+
+    for (w, chunk) in workloads.iter().zip(batch.results.chunks(runs)) {
+        let diffs: Vec<f64> = chunk
+            .iter()
+            .map(|r| r.report.syscall_diffs as f64)
+            .collect();
+        let sinks: Vec<f64> = chunk
+            .iter()
+            .map(|r| r.report.tainted_sinks() as f64)
+            .collect();
         let fmt = |xs: &[f64]| {
             let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
             let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
@@ -52,5 +75,12 @@ fn main() {
         "\nexpected shape: nonzero σ on syscall diffs for racy programs; \
          tainted-sink σ near 0 except where a racy statistic feeds the sink \
          (mtget/mtenc, mirroring the paper's axel/x264)."
+    );
+    eprintln!(
+        "[batch] workers={} jobs={} utilization={:.0}% compiles={}",
+        batch.workers,
+        batch.results.len(),
+        batch.utilization() * 100.0,
+        cache.compiles(),
     );
 }

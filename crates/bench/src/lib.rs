@@ -192,6 +192,37 @@ pub fn perf_workloads() -> Vec<(Workload, VosConfig)> {
         .collect()
 }
 
+/// Escapes and quotes a string for the hand-rolled JSON writers (the
+/// harness emits machine-readable metrics without pulling a serializer
+/// into the measurement binaries).
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats a float as a JSON number (`null` for non-finite values, which
+/// JSON cannot represent).
+pub fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -228,5 +259,15 @@ mod tests {
     fn median_duration_is_stable() {
         let d = median_duration(3, || Duration::from_millis(1));
         assert_eq!(d, Duration::from_millis(1));
+    }
+
+    #[test]
+    fn json_helpers_escape_and_format() {
+        assert_eq!(json_str("plain"), "\"plain\"");
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
+        assert_eq!(json_f64(1.5), "1.500000");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
     }
 }

@@ -13,8 +13,8 @@
 //!   strength score (1.0 = every perturbation observable = strong;
 //!   near 0.0 = most perturbations absorbed = weak).
 
-use crate::Analysis;
-use ldx_dualex::{dual_execute, DualReport, DualSpec, Mutation, SourceSpec};
+use crate::{Analysis, BatchEngine, BatchJob};
+use ldx_dualex::{DualReport, DualSpec, Mutation, SourceSpec};
 
 /// Verdict for one source (see [`Analysis::attribute_sources`]).
 #[derive(Debug, Clone)]
@@ -58,9 +58,20 @@ impl StrengthReport {
 impl Analysis {
     /// Re-runs the dual execution once per configured source, mutating only
     /// that source, and reports which of them are individually causal.
+    ///
+    /// The per-source runs are independent, so they fan out on an
+    /// auto-sized [`BatchEngine`]; use [`Analysis::attribute_sources_with`]
+    /// to control (or share) the pool.
     pub fn attribute_sources(&self) -> Vec<SourceAttribution> {
+        self.attribute_sources_with(&BatchEngine::auto())
+    }
+
+    /// [`Analysis::attribute_sources`] on a caller-provided pool. Results
+    /// are in source order regardless of the schedule.
+    pub fn attribute_sources_with(&self, engine: &BatchEngine) -> Vec<SourceAttribution> {
         let spec = self.spec();
-        spec.sources
+        let jobs = spec
+            .sources
             .iter()
             .enumerate()
             .map(|(index, source)| {
@@ -71,13 +82,25 @@ impl Analysis {
                     enforcement: false,
                     exec: spec.exec,
                 };
-                let report = dual_execute(self.program(), self.world_ref(), &single);
-                SourceAttribution {
-                    index,
-                    source: source.clone(),
-                    causal: report.leaked(),
-                    report,
-                }
+                BatchJob::new(
+                    format!("source#{index}"),
+                    self.program(),
+                    self.world_ref().clone(),
+                    single,
+                )
+            })
+            .collect();
+        engine
+            .run(jobs)
+            .results
+            .into_iter()
+            .zip(&spec.sources)
+            .enumerate()
+            .map(|(index, (result, source))| SourceAttribution {
+                index,
+                source: source.clone(),
+                causal: result.report.leaked(),
+                report: result.report,
             })
             .collect()
     }
@@ -89,6 +112,16 @@ impl Analysis {
     /// zeroing; pass extra `probes` to extend it (e.g. domain-specific
     /// replacements).
     pub fn causal_strength(&self, probes: &[Mutation]) -> StrengthReport {
+        self.causal_strength_with(&BatchEngine::auto(), probes)
+    }
+
+    /// [`Analysis::causal_strength`] on a caller-provided pool: the whole
+    /// battery runs as one batch.
+    pub fn causal_strength_with(
+        &self,
+        engine: &BatchEngine,
+        probes: &[Mutation],
+    ) -> StrengthReport {
         let spec = self.spec();
         let Some(base) = spec.sources.first() else {
             return StrengthReport {
@@ -98,25 +131,31 @@ impl Analysis {
         };
         let mut battery = vec![Mutation::OffByOne, Mutation::BitFlip, Mutation::Zero];
         battery.extend(probes.iter().cloned());
-        let mut flipped = 0;
-        for mutation in &battery {
-            let single = DualSpec {
-                sources: vec![SourceSpec {
-                    matcher: base.matcher.clone(),
-                    mutation: mutation.clone(),
-                }],
-                sinks: spec.sinks.clone(),
-                trace: false,
-                enforcement: false,
-                exec: spec.exec,
-            };
-            let report = dual_execute(self.program(), self.world_ref(), &single);
-            if report.leaked() {
-                flipped += 1;
-            }
-        }
+        let jobs = battery
+            .iter()
+            .enumerate()
+            .map(|(index, mutation)| {
+                let single = DualSpec {
+                    sources: vec![SourceSpec {
+                        matcher: base.matcher.clone(),
+                        mutation: mutation.clone(),
+                    }],
+                    sinks: spec.sinks.clone(),
+                    trace: false,
+                    enforcement: false,
+                    exec: spec.exec,
+                };
+                BatchJob::new(
+                    format!("probe#{index}"),
+                    self.program(),
+                    self.world_ref().clone(),
+                    single,
+                )
+            })
+            .collect();
+        let batch = engine.run(jobs);
         StrengthReport {
-            flipped,
+            flipped: batch.leaks(),
             probed: battery.len(),
         }
     }

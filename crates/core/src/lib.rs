@@ -43,9 +43,13 @@
 //! # Ok::<(), ldx::Error>(())
 //! ```
 
+pub mod batch;
+pub mod cache;
 mod extensions;
 pub mod specfile;
 
+pub use batch::{BatchEngine, BatchJob, BatchReport, JobResult};
+pub use cache::{CachedInstrumented, InstrumentCache};
 pub use extensions::{SourceAttribution, StrengthReport};
 
 use ldx_dualex::dual_execute;
@@ -161,6 +165,12 @@ impl Analysis {
     /// Runs the dual execution and returns the causality report.
     pub fn run(&self) -> DualReport {
         dual_execute(Arc::clone(&self.program), &self.world, &self.spec)
+    }
+
+    /// Packages this analysis as a [`BatchJob`] for the parallel engine.
+    /// The program is shared by `Arc`; world and spec are cloned.
+    pub fn batch_job(&self, label: impl Into<String>) -> BatchJob {
+        BatchJob::new(label, self.program(), self.world.clone(), self.spec.clone())
     }
 
     /// Runs one of the dynamic taint-tracking baselines on the same

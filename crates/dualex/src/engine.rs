@@ -22,7 +22,29 @@ use std::sync::Arc;
 /// slave shares the master's aligned syscall outcomes, perturbs the
 /// configured sources, and falls back to a private copy-on-divergence
 /// overlay when the executions diverge.
+///
+/// # Reentrancy
+///
+/// This entry point is **reentrant and `Send`-safe**: every piece of
+/// coupling state — the `Coupling` channel, both worlds, lock tables,
+/// fd maps — is allocated per call and shared only between the two
+/// threads this call spawns. There are no `static`s or thread-locals
+/// anywhere in the engine (audited: `couple.rs`, `master.rs`,
+/// `slave.rs`, `fdmap.rs`), so any number of `dual_execute` calls may
+/// run concurrently from different threads — the contract the batch
+/// scheduler in `ldx::batch` relies on. Each call uses **two** OS
+/// threads; schedulers should budget accordingly.
 pub fn dual_execute(program: Arc<IrProgram>, config: &VosConfig, spec: &DualSpec) -> DualReport {
+    // Compile-time audit that the inputs cross thread boundaries safely
+    // (the scoped spawns below require it, but spell the contract out).
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Arc<IrProgram>>();
+    assert_send_sync::<VosConfig>();
+    assert_send_sync::<DualSpec>();
+    dual_execute_inner(program, config, spec)
+}
+
+fn dual_execute_inner(program: Arc<IrProgram>, config: &VosConfig, spec: &DualSpec) -> DualReport {
     let coupling = Arc::new(Coupling::new(spec.trace));
     let master_vos = Arc::new(Vos::new(config));
 

@@ -505,4 +505,31 @@ mod tests {
         assert_eq!(report.shared, master_sys, "all outcomes shared");
         assert_eq!(report.master_sinks, 1, "one send sink");
     }
+
+    #[test]
+    fn dual_execute_is_reentrant_across_threads() {
+        // The batch scheduler's contract: concurrent dual_execute calls
+        // (same program, same world) behave exactly like sequential ones.
+        let program = employee_program();
+        let world = employee_world();
+        let spec = DualSpec::with_source(SourceSpec::file("/employee"));
+        let baseline = dual_execute(Arc::clone(&program), &world, &spec);
+        let concurrent: Vec<DualReport> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let program = Arc::clone(&program);
+                    let world = &world;
+                    let spec = &spec;
+                    s.spawn(move || dual_execute(program, world, spec))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for report in &concurrent {
+            assert_eq!(report.leaked(), baseline.leaked());
+            assert_eq!(report.causality.len(), baseline.causality.len());
+            assert_eq!(report.shared, baseline.shared);
+            assert_eq!(report.syscall_diffs, baseline.syscall_diffs);
+        }
+    }
 }

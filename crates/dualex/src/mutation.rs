@@ -36,24 +36,24 @@ impl Mutation {
     pub fn apply(&self, v: &Value) -> Value {
         match self {
             Mutation::Identity => v.clone(),
-            Mutation::Replace(s) => Value::Str(s.clone()),
+            Mutation::Replace(s) => Value::str(s.as_str()),
             Mutation::SetInt(i) => Value::Int(*i),
             Mutation::OffByOne => match v {
                 Value::Int(i) => Value::Int(i.wrapping_add(1)),
-                Value::Str(s) => Value::Str(bump_last_alnum(s, 1)),
+                Value::Str(s) => Value::str(bump_last_alnum(s, 1)),
                 other => other.clone(),
             },
             Mutation::BitFlip => match v {
                 Value::Int(i) => Value::Int(i ^ 1),
-                Value::Str(s) => Value::Str(bump_last_alnum(s, 0)),
+                Value::Str(s) => Value::str(bump_last_alnum(s, 0)),
                 other => other.clone(),
             },
             Mutation::Zero => match v {
                 Value::Int(_) => Value::Int(0),
-                Value::Str(s) => Value::Str(
+                Value::Str(s) => Value::str(
                     s.chars()
                         .map(|c| if c.is_ascii_alphanumeric() { '0' } else { c })
-                        .collect(),
+                        .collect::<String>(),
                 ),
                 other => other.clone(),
             },

@@ -262,7 +262,7 @@ impl SlaveHooks {
         let mut out = Vec::new();
         let grab = |i: usize, out: &mut Vec<String>| {
             if let Some(Value::Str(s)) = args.get(i) {
-                out.push(s.clone());
+                out.push(s.to_string());
             }
         };
         match sys {
@@ -417,10 +417,10 @@ impl SlaveHooks {
             Syscall::Read | Syscall::Recv => {
                 let fd = args[0].as_int()?;
                 if (0..=2).contains(&fd) {
-                    return Ok(Value::Str(String::new()));
+                    return Ok(Value::str(""));
                 }
                 let Some(ofd) = self.ensure_overlay_fd(&mut fdmap, fd) else {
-                    return Ok(Value::Str(String::new()));
+                    return Ok(Value::str(""));
                 };
                 let n = args[1].as_int()?;
                 let ret = self

@@ -1,0 +1,41 @@
+//! Stable source fingerprinting for compile/instrument caches.
+
+/// A stable 64-bit FNV-1a fingerprint of Lx source text.
+///
+/// This is the key of the batch layer's instrumentation cache: two
+/// workloads with byte-identical source share one compile + instrument.
+/// The hash is deterministic across runs and platforms (no randomized
+/// hasher state), so cache behaviour — and anything keyed off it — is
+/// reproducible.
+pub fn source_fingerprint(source: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in source.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_discriminating() {
+        assert_eq!(
+            source_fingerprint("fn main() {}"),
+            source_fingerprint("fn main() {}")
+        );
+        assert_ne!(
+            source_fingerprint("fn main() {}"),
+            source_fingerprint("fn main() { }")
+        );
+        assert_ne!(source_fingerprint(""), source_fingerprint(" "));
+    }
+
+    #[test]
+    fn known_vector_is_stable() {
+        // FNV-1a of the empty string is the offset basis.
+        assert_eq!(source_fingerprint(""), 0xcbf2_9ce4_8422_2325);
+    }
+}

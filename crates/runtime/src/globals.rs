@@ -64,8 +64,8 @@ impl Globals {
 pub fn const_to_value(c: &Const) -> Value {
     match c {
         Const::Int(v) => Value::Int(*v),
-        Const::Str(s) => Value::Str(s.clone()),
-        Const::Array(elems) => Value::Arr(elems.iter().map(const_to_value).collect()),
+        Const::Str(s) => Value::str(s.as_str()),
+        Const::Array(elems) => Value::arr(elems.iter().map(const_to_value).collect()),
     }
 }
 
@@ -83,7 +83,7 @@ mod tests {
         assert_eq!(g.get(GlobalId(0)), Value::Int(3));
         assert_eq!(
             g.get(GlobalId(1)),
-            Value::Arr(vec![Value::Int(1), Value::Str("x".into())])
+            Value::arr(vec![Value::Int(1), Value::Str("x".into())])
         );
     }
 
@@ -95,7 +95,7 @@ mod tests {
             .unwrap();
         assert_eq!(
             g.get(GlobalId(0)),
-            Value::Arr(vec![Value::Int(0), Value::Int(5)])
+            Value::arr(vec![Value::Int(0), Value::Int(5)])
         );
         g.set(GlobalId(0), Value::Int(9));
         assert_eq!(g.get(GlobalId(0)), Value::Int(9));

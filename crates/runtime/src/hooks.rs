@@ -101,7 +101,7 @@ pub fn to_sys_args(args: &[Value]) -> Result<Vec<SysArg>, Trap> {
     args.iter()
         .map(|v| match v {
             Value::Int(i) => Ok(SysArg::Int(*i)),
-            Value::Str(s) => Ok(SysArg::Str(s.clone())),
+            Value::Str(s) => Ok(SysArg::Str(s.to_string())),
             other => Err(Trap::TypeError {
                 expected: "integer or string syscall argument",
                 found: other.type_name(),
@@ -114,7 +114,7 @@ pub fn to_sys_args(args: &[Value]) -> Result<Vec<SysArg>, Trap> {
 pub fn from_sys_ret(ret: SysRet) -> Value {
     match ret {
         SysRet::Int(v) => Value::Int(v),
-        SysRet::Str(s) => Value::Str(s),
+        SysRet::Str(s) => Value::str(s),
     }
 }
 
@@ -226,7 +226,7 @@ mod tests {
 
     #[test]
     fn bad_args_convert_to_traps() {
-        assert!(to_sys_args(&[Value::Arr(vec![])]).is_err());
+        assert!(to_sys_args(&[Value::arr(vec![])]).is_err());
         assert_eq!(
             to_sys_args(&[Value::Int(1), Value::Str("x".into())]).unwrap(),
             vec![SysArg::Int(1), SysArg::Str("x".into())]

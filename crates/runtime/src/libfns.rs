@@ -21,7 +21,7 @@ pub fn eval_lib(lib: LibFn, args: &[Value]) -> Result<Value, Trap> {
                 })
             }
         })),
-        LibFn::Str => Ok(Value::Str(args[0].stringify())),
+        LibFn::Str => Ok(Value::str(args[0].stringify())),
         LibFn::Int => Ok(Value::Int(match &args[0] {
             Value::Int(v) => *v,
             Value::Str(s) => parse_int_prefix(s),
@@ -31,7 +31,9 @@ pub fn eval_lib(lib: LibFn, args: &[Value]) -> Result<Value, Trap> {
             let s = args[0].as_str()?;
             let start = args[1].as_int()?.max(0) as usize;
             let n = args[2].as_int()?.max(0) as usize;
-            Ok(Value::Str(s.chars().skip(start).take(n).collect()))
+            Ok(Value::str(
+                s.chars().skip(start).take(n).collect::<String>(),
+            ))
         }
         LibFn::Find => {
             let hay = args[0].as_str()?;
@@ -53,7 +55,7 @@ pub fn eval_lib(lib: LibFn, args: &[Value]) -> Result<Value, Trap> {
                 .ok()
                 .and_then(char::from_u32)
                 .unwrap_or('?');
-            Ok(Value::Str(c.to_string()))
+            Ok(Value::str(&*c.encode_utf8(&mut [0u8; 4])))
         }
         LibFn::Min => Ok(Value::Int(args[0].as_int()?.min(args[1].as_int()?))),
         LibFn::Max => Ok(Value::Int(args[0].as_int()?.max(args[1].as_int()?))),
@@ -66,13 +68,13 @@ pub fn eval_lib(lib: LibFn, args: &[Value]) -> Result<Value, Trap> {
                     found: "larger allocation",
                 });
             }
-            Ok(Value::Arr(vec![args[1].clone(); n]))
+            Ok(Value::arr(vec![args[1].clone(); n]))
         }
         LibFn::Push => match &args[0] {
             Value::Arr(a) => {
-                let mut out = a.clone();
+                let mut out = a.as_ref().clone();
                 out.push(args[1].clone());
-                Ok(Value::Arr(out))
+                Ok(Value::arr(out))
             }
             other => Err(Trap::TypeError {
                 expected: "array",
@@ -92,9 +94,9 @@ pub fn eval_lib(lib: LibFn, args: &[Value]) -> Result<Value, Trap> {
                         len: a.len(),
                     });
                 }
-                let mut out = a.clone();
+                let mut out = a.as_ref().clone();
                 out[idx] = args[2].clone();
-                Ok(Value::Arr(out))
+                Ok(Value::arr(out))
             }
             other => Err(Trap::TypeError {
                 expected: "array",
@@ -103,7 +105,7 @@ pub fn eval_lib(lib: LibFn, args: &[Value]) -> Result<Value, Trap> {
         },
         LibFn::Sort => match &args[0] {
             Value::Arr(a) => {
-                let mut out = a.clone();
+                let mut out = a.as_ref().clone();
                 if out.iter().all(|v| matches!(v, Value::Int(_))) {
                     out.sort_by_key(|v| match v {
                         Value::Int(i) => *i,
@@ -112,7 +114,7 @@ pub fn eval_lib(lib: LibFn, args: &[Value]) -> Result<Value, Trap> {
                 } else {
                     out.sort_by_key(Value::stringify);
                 }
-                Ok(Value::Arr(out))
+                Ok(Value::arr(out))
             }
             other => Err(Trap::TypeError {
                 expected: "array",
@@ -137,32 +139,34 @@ pub fn eval_lib(lib: LibFn, args: &[Value]) -> Result<Value, Trap> {
                     found: "larger allocation",
                 });
             }
-            Ok(Value::Str(s.repeat(n)))
+            Ok(Value::str(s.repeat(n)))
         }
         LibFn::Split => {
             let s = args[0].as_str()?;
             let sep = args[1].as_str()?;
             let parts: Vec<Value> = if sep.is_empty() {
-                s.chars().map(|c| Value::Str(c.to_string())).collect()
+                s.chars()
+                    .map(|c| Value::str(&*c.encode_utf8(&mut [0u8; 4])))
+                    .collect()
             } else {
-                s.split(sep).map(|p| Value::Str(p.to_string())).collect()
+                s.split(sep).map(Value::str).collect()
             };
-            Ok(Value::Arr(parts))
+            Ok(Value::arr(parts))
         }
         LibFn::StrJoin => match &args[0] {
             Value::Arr(a) => {
                 let sep = args[1].as_str()?;
                 let parts: Vec<String> = a.iter().map(Value::stringify).collect();
-                Ok(Value::Str(parts.join(sep)))
+                Ok(Value::str(parts.join(sep)))
             }
             other => Err(Trap::TypeError {
                 expected: "array",
                 found: other.type_name(),
             }),
         },
-        LibFn::Trim => Ok(Value::Str(args[0].as_str()?.trim().to_string())),
-        LibFn::Upper => Ok(Value::Str(args[0].as_str()?.to_ascii_uppercase())),
-        LibFn::Lower => Ok(Value::Str(args[0].as_str()?.to_ascii_lowercase())),
+        LibFn::Trim => Ok(Value::str(args[0].as_str()?.trim())),
+        LibFn::Upper => Ok(Value::str(args[0].as_str()?.to_ascii_uppercase())),
+        LibFn::Lower => Ok(Value::str(args[0].as_str()?.to_ascii_lowercase())),
     }
 }
 
@@ -201,7 +205,7 @@ mod tests {
         Value::Str(v.into())
     }
     fn arr(v: Vec<Value>) -> Value {
-        Value::Arr(v)
+        Value::arr(v)
     }
 
     #[test]

@@ -397,7 +397,7 @@ impl Machine {
                 self.set_local(*dst, v);
             }
             Instr::MakeArray { dst, elems } => {
-                let v = Value::Arr(elems.iter().map(|e| self.local(*e).clone()).collect());
+                let v = Value::arr(elems.iter().map(|e| self.local(*e).clone()).collect());
                 self.set_local(*dst, v);
             }
             Instr::FuncRef { dst, func } => {

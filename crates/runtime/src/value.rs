@@ -4,21 +4,39 @@ use crate::trap::Trap;
 use ldx_ir::FuncId;
 use ldx_lang::{BinaryOp, UnaryOp};
 use std::fmt;
+use std::sync::Arc;
 
 /// A dynamically typed Lx value.
+///
+/// String and array payloads are reference-counted so `clone()` — the
+/// interpreter's hottest operation (locals copies, call argument
+/// gathering, syscall argument capture) — is a refcount bump, not a deep
+/// copy. Value semantics are preserved: the only in-place mutation path,
+/// [`store_index`], goes through [`Arc::make_mut`] and copies on write
+/// when the payload is shared.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Value {
     /// A 64-bit integer.
     Int(i64),
-    /// A string.
-    Str(String),
-    /// An array.
-    Arr(Vec<Value>),
+    /// A string (immutable, shared).
+    Str(Arc<str>),
+    /// An array (copy-on-write, shared until mutated).
+    Arr(Arc<Vec<Value>>),
     /// A first-class function reference (`&f`).
     Func(FuncId),
 }
 
 impl Value {
+    /// Builds a string value from anything convertible to a shared str.
+    pub fn str(s: impl Into<Arc<str>>) -> Value {
+        Value::Str(s.into())
+    }
+
+    /// Builds an array value from owned elements.
+    pub fn arr(elems: Vec<Value>) -> Value {
+        Value::Arr(Arc::new(elems))
+    }
+
     /// Lx truthiness: nonzero ints, nonempty strings/arrays, any function.
     pub fn truthy(&self) -> bool {
         match self {
@@ -73,7 +91,7 @@ impl Value {
     pub fn stringify(&self) -> String {
         match self {
             Value::Int(v) => v.to_string(),
-            Value::Str(s) => s.clone(),
+            Value::Str(s) => s.to_string(),
             Value::Arr(a) => {
                 let inner: Vec<String> = a.iter().map(Value::stringify).collect();
                 format!("[{}]", inner.join(", "))
@@ -101,13 +119,13 @@ pub fn eval_binary(op: BinaryOp, lhs: &Value, rhs: &Value) -> Result<Value, Trap
         Add => match (lhs, rhs) {
             (Value::Int(a), Value::Int(b)) => Ok(Value::Int(a.wrapping_add(*b))),
             (Value::Arr(a), Value::Arr(b)) => {
-                let mut out = a.clone();
+                let mut out = a.as_ref().clone();
                 out.extend(b.iter().cloned());
-                Ok(Value::Arr(out))
+                Ok(Value::arr(out))
             }
             // String concatenation stringifies the other side, mirroring
             // scripting-language `+`.
-            (Value::Str(_), _) | (_, Value::Str(_)) => Ok(Value::Str(format!(
+            (Value::Str(_), _) | (_, Value::Str(_)) => Ok(Value::str(format!(
                 "{}{}",
                 lhs.stringify(),
                 rhs.stringify()
@@ -194,7 +212,7 @@ pub fn eval_index(base: &Value, index: &Value) -> Result<Value, Trap> {
             let idx = usize::try_from(i).map_err(|_| Trap::IndexOutOfBounds { index: i, len })?;
             s.chars()
                 .nth(idx)
-                .map(|c| Value::Str(c.to_string()))
+                .map(|c| Value::str(&*c.encode_utf8(&mut [0u8; 4])))
                 .ok_or(Trap::IndexOutOfBounds { index: i, len })
         }
         other => Err(Trap::TypeError {
@@ -215,7 +233,9 @@ pub fn store_index(base: &mut Value, index: &Value, v: Value) -> Result<(), Trap
         Value::Arr(a) => {
             let len = a.len();
             let idx = usize::try_from(i).map_err(|_| Trap::IndexOutOfBounds { index: i, len })?;
-            match a.get_mut(idx) {
+            // Copy-on-write: only clones the backing Vec when it is shared
+            // with another value.
+            match Arc::make_mut(a).get_mut(idx) {
                 Some(slot) => {
                     *slot = v;
                     Ok(())
@@ -247,8 +267,8 @@ mod tests {
         assert!(!int(0).truthy());
         assert!(s("x").truthy());
         assert!(!s("").truthy());
-        assert!(!Value::Arr(vec![]).truthy());
-        assert!(Value::Arr(vec![int(0)]).truthy());
+        assert!(!Value::arr(vec![]).truthy());
+        assert!(Value::arr(vec![int(0)]).truthy());
         assert!(Value::Func(FuncId(0)).truthy());
     }
 
@@ -306,11 +326,11 @@ mod tests {
 
     #[test]
     fn array_concatenation() {
-        let a = Value::Arr(vec![int(1)]);
-        let b = Value::Arr(vec![int(2)]);
+        let a = Value::arr(vec![int(1)]);
+        let b = Value::arr(vec![int(2)]);
         assert_eq!(
             eval_binary(BinaryOp::Add, &a, &b).unwrap(),
-            Value::Arr(vec![int(1), int(2)])
+            Value::arr(vec![int(1), int(2)])
         );
     }
 
@@ -338,7 +358,7 @@ mod tests {
 
     #[test]
     fn indexing() {
-        let arr = Value::Arr(vec![int(7), int(8)]);
+        let arr = Value::arr(vec![int(7), int(8)]);
         assert_eq!(eval_index(&arr, &int(1)).unwrap(), int(8));
         assert!(matches!(
             eval_index(&arr, &int(2)),
@@ -353,9 +373,9 @@ mod tests {
 
     #[test]
     fn store_index_mutates() {
-        let mut arr = Value::Arr(vec![int(0), int(0)]);
+        let mut arr = Value::arr(vec![int(0), int(0)]);
         store_index(&mut arr, &int(1), int(9)).unwrap();
-        assert_eq!(arr, Value::Arr(vec![int(0), int(9)]));
+        assert_eq!(arr, Value::arr(vec![int(0), int(9)]));
         assert!(store_index(&mut arr, &int(5), int(1)).is_err());
         let mut notarr = int(3);
         assert!(store_index(&mut notarr, &int(0), int(1)).is_err());
@@ -365,7 +385,7 @@ mod tests {
     fn stringify_forms() {
         assert_eq!(int(-3).stringify(), "-3");
         assert_eq!(s("x").stringify(), "x");
-        assert_eq!(Value::Arr(vec![int(1), s("a")]).stringify(), "[1, a]");
+        assert_eq!(Value::arr(vec![int(1), s("a")]).stringify(), "[1, a]");
         assert!(Value::Func(FuncId(2)).stringify().contains("f2"));
     }
 

@@ -581,7 +581,7 @@ impl TaintInterp {
             .iter()
             .map(|t| match t.to_value() {
                 Value::Int(i) => Ok(SysArg::Int(i)),
-                Value::Str(s) => Ok(SysArg::Str(s)),
+                Value::Str(s) => Ok(SysArg::Str(s.to_string())),
                 other => Err(Trap::TypeError {
                     expected: "integer or string syscall argument",
                     found: other.type_name(),
@@ -623,7 +623,7 @@ impl TaintInterp {
         let labels = self.source_labels(func, site, sys, fd);
         let value = match ret {
             SysRet::Int(i) => Value::Int(i),
-            SysRet::Str(s) => Value::Str(s),
+            SysRet::Str(s) => Value::str(s),
         };
         self.set_local(dst, TVal::from_value(&value, labels));
         Ok(())

@@ -2,6 +2,7 @@
 
 use ldx_ir::FuncId;
 use ldx_runtime::Value;
+use std::sync::Arc;
 
 /// A set of source labels (bit per source; up to 64 sources).
 pub type Labels = u64;
@@ -12,8 +13,9 @@ pub type Labels = u64;
 pub enum TVal {
     /// Tainted integer.
     Int(i64, Labels),
-    /// Tainted string (single label set for the whole string).
-    Str(String, Labels),
+    /// Tainted string (single label set for the whole string; the payload
+    /// is shared with [`Value::Str`] so lift/drop never copies it).
+    Str(Arc<str>, Labels),
     /// Tainted array.
     Arr(Vec<TVal>, Labels),
     /// Tainted function reference.
@@ -44,7 +46,7 @@ impl TVal {
         match self {
             TVal::Int(i, _) => Value::Int(*i),
             TVal::Str(s, _) => Value::Str(s.clone()),
-            TVal::Arr(a, _) => Value::Arr(a.iter().map(TVal::to_value).collect()),
+            TVal::Arr(a, _) => Value::arr(a.iter().map(TVal::to_value).collect()),
             TVal::Func(f, _) => Value::Func(*f),
         }
     }
@@ -94,7 +96,7 @@ mod tests {
 
     #[test]
     fn roundtrip_preserves_value() {
-        let v = Value::Arr(vec![Value::Int(1), Value::Str("x".into())]);
+        let v = Value::arr(vec![Value::Int(1), Value::Str("x".into())]);
         let t = TVal::from_value(&v, 0b10);
         assert_eq!(t.to_value(), v);
         assert_eq!(t.labels(), 0b10);

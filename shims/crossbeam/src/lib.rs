@@ -1,0 +1,215 @@
+//! Offline shim for `crossbeam`: the `deque` module (injector/worker/
+//! stealer work-stealing deques). Mutex-backed rather than lock-free —
+//! the API contract (LIFO worker pops, FIFO steals, `Steal` outcomes)
+//! matches the original. See `shims/README.md`.
+
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex, PoisonError};
+
+    /// Outcome of a steal attempt.
+    #[derive(Debug)]
+    pub enum Steal<T> {
+        /// The queue was observed empty.
+        Empty,
+        /// One task was stolen.
+        Success(T),
+        /// The operation lost a race and should be retried.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// Returns the stolen task, if any.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(t) => Some(t),
+                _ => None,
+            }
+        }
+
+        /// Whether the queue was observed empty.
+        pub fn is_empty(&self) -> bool {
+            matches!(self, Steal::Empty)
+        }
+    }
+
+    /// A FIFO global injector queue.
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T> Injector<T> {
+        /// Creates an empty injector.
+        pub fn new() -> Self {
+            Injector {
+                queue: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Pushes a task onto the global queue.
+        pub fn push(&self, task: T) {
+            self.queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push_back(task);
+        }
+
+        /// Steals one task from the front (FIFO).
+        pub fn steal(&self) -> Steal<T> {
+            match self
+                .queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .pop_front()
+            {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .is_empty()
+        }
+    }
+
+    type Shared<T> = Arc<Mutex<VecDeque<T>>>;
+
+    /// A worker-local deque: LIFO for the owner, FIFO for stealers.
+    pub struct Worker<T> {
+        shared: Shared<T>,
+    }
+
+    impl<T> Worker<T> {
+        /// Creates a FIFO worker deque (owner pops from the front).
+        pub fn new_fifo() -> Self {
+            Worker {
+                shared: Arc::new(Mutex::new(VecDeque::new())),
+            }
+        }
+
+        /// Creates a LIFO worker deque (owner pops from the back).
+        pub fn new_lifo() -> Self {
+            Self::new_fifo()
+        }
+
+        /// Pushes a task onto the owner's end.
+        pub fn push(&self, task: T) {
+            self.shared
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push_back(task);
+        }
+
+        /// Pops a task from the owner's end.
+        pub fn pop(&self) -> Option<T> {
+            self.shared
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .pop_back()
+        }
+
+        /// Whether the deque is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.shared
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .is_empty()
+        }
+
+        /// A handle other workers use to steal from this deque.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    /// Steals from the opposite end of a [`Worker`]'s deque.
+    pub struct Stealer<T> {
+        shared: Shared<T>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Steals one task from the victim's front (FIFO).
+        pub fn steal(&self) -> Steal<T> {
+            match self
+                .shared
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .pop_front()
+            {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn injector_is_fifo() {
+            let inj = Injector::new();
+            inj.push(1);
+            inj.push(2);
+            assert_eq!(inj.steal().success(), Some(1));
+            assert_eq!(inj.steal().success(), Some(2));
+            assert!(inj.steal().is_empty());
+        }
+
+        #[test]
+        fn worker_pops_lifo_stealer_takes_fifo() {
+            let w = Worker::new_lifo();
+            let s = w.stealer();
+            w.push(1);
+            w.push(2);
+            w.push(3);
+            assert_eq!(s.steal().success(), Some(1));
+            assert_eq!(w.pop(), Some(3));
+            assert_eq!(w.pop(), Some(2));
+            assert_eq!(w.pop(), None);
+        }
+
+        #[test]
+        fn stealing_races_are_safe() {
+            let inj = std::sync::Arc::new(Injector::new());
+            for i in 0..1000 {
+                inj.push(i);
+            }
+            let mut handles = Vec::new();
+            let total = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+            for _ in 0..4 {
+                let inj = std::sync::Arc::clone(&inj);
+                let total = std::sync::Arc::clone(&total);
+                handles.push(std::thread::spawn(move || {
+                    while inj.steal().success().is_some() {
+                        total.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(total.load(std::sync::atomic::Ordering::Relaxed), 1000);
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Offline shim for `rand`: a SplitMix64-backed `StdRng` with the
+//! `SeedableRng` / `RngExt` surface the workspace uses (`seed_from_u64`,
+//! `random_range` over integer ranges, `random_bool`). Deterministic for
+//! a given seed, like the original with `seed_from_u64`.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A source of pseudo-random 64-bit words.
+pub trait RngCore {
+    /// The next word of the stream.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Integer types samplable from a uniform range.
+pub trait SampleUniform: Copy {
+    /// Samples uniformly from `[low, high)`; `low < high` is the
+    /// caller's contract (mirroring rand's panic on empty ranges).
+    fn sample_half_open(low: Self, high: Self, rng: &mut dyn RngCore) -> Self;
+    /// One past `self` (for inclusive ranges); saturates at the maximum.
+    fn successor(self) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open(low: Self, high: Self, rng: &mut dyn RngCore) -> Self {
+                assert!(low < high, "cannot sample empty range {low}..{high}");
+                let span = (high as i128 - low as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (low as i128 + v as i128) as $t
+            }
+            fn successor(self) -> Self {
+                self.saturating_add(1)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+/// Ranges a generator can sample from.
+pub trait SampleRange {
+    /// The sampled element type.
+    type Out;
+    /// Samples one element.
+    fn sample(self, rng: &mut dyn RngCore) -> Self::Out;
+}
+
+impl<T: SampleUniform> SampleRange for Range<T> {
+    type Out = T;
+    fn sample(self, rng: &mut dyn RngCore) -> T {
+        T::sample_half_open(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange for RangeInclusive<T> {
+    type Out = T;
+    fn sample(self, rng: &mut dyn RngCore) -> T {
+        let (start, end) = self.into_inner();
+        T::sample_half_open(start, end.successor(), rng)
+    }
+}
+
+/// Convenience sampling methods (rand's `Rng`/`RngExt` surface).
+pub trait RngExt: RngCore {
+    /// Uniform sample from an integer range.
+    fn random_range<R: SampleRange>(&mut self, range: R) -> R::Out
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Bernoulli sample with probability `p` of `true`.
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        ((self.next_u64() >> 11) as f64 / (1u64 << 53) as f64) < p
+    }
+}
+
+impl<R: RngCore> RngExt for R {}
+
+/// Named generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The standard generator: SplitMix64 (deterministic per seed).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random_range(0..1000), b.random_range(0..1000));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.random_range(3..9);
+            assert!((3..9).contains(&v));
+            let w = rng.random_range(1..=4u32);
+            assert!((1..=4).contains(&w));
+            let n: i64 = rng.random_range(-5i64..5);
+            assert!((-5..5).contains(&n));
+        }
+    }
+
+    #[test]
+    fn bool_probabilities_are_sane() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let hits = (0..10_000).filter(|_| rng.random_bool(0.25)).count();
+        assert!((1_500..3_500).contains(&hits), "{hits}");
+        assert!(!(0..100).any(|_| rng.random_bool(0.0)));
+        assert!((0..100).all(|_| rng.random_bool(1.0)));
+    }
+}

@@ -1,0 +1,14 @@
+//! Offline shim for `serde`: the `Serialize`/`Deserialize` trait names
+//! and (behind the `derive` feature) no-op derive macros, enough to keep
+//! type definitions source-compatible with real serde. The workspace
+//! serializes reports through its own tiny text writers, never through
+//! serde's data model, so the traits carry no methods here.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,19 @@
+//! No-op derive macros for the offline `serde` shim: `#[derive(Serialize,
+//! Deserialize)]` expands to nothing. The workspace derives the traits
+//! only to keep type definitions source-compatible with real serde; no
+//! code path serializes through the trait machinery (reports are written
+//! with the repo's own tiny text writers).
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing (accepts and ignores `#[serde(...)]` attributes).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing (accepts and ignores `#[serde(...)]` attributes).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

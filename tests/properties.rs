@@ -137,7 +137,7 @@ proptest! {
 
         let program = build(seed);
         let original = input.to_string();
-        let mutated = match Mutation::OffByOne.apply(&ldx_runtime::Value::Str(original.clone())) {
+        let mutated = match Mutation::OffByOne.apply(&ldx_runtime::Value::str(original.as_str())) {
             ldx_runtime::Value::Str(s) => s,
             _ => unreachable!(),
         };
