@@ -17,6 +17,8 @@
 use ldx::{BatchEngine, BatchJob, InstrumentCache};
 
 fn main() {
+    let (_args, obs_args) = ldx::obs::parse_obs_args(std::env::args().skip(1).collect());
+    ldx::obs::init(&obs_args);
     println!(
         "{:<12} {:>12} {:>12} {:>14} {:>14}",
         "program", "false+instr", "false-naive", "shared+instr", "shared-naive"
@@ -76,11 +78,7 @@ fn main() {
          counter loses alignment after any path difference, producing \
          spurious sink mismatches and fewer shared outcomes."
     );
-    eprintln!(
-        "[batch] workers={} jobs={} utilization={:.0}% compiles={}",
-        batch.workers,
-        batch.results.len(),
-        batch.utilization() * 100.0,
-        cache.compiles(),
-    );
+    if let Err(e) = ldx::obs::finish(&obs_args) {
+        eprintln!("could not write observability output: {e}");
+    }
 }

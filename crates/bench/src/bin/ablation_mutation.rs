@@ -16,6 +16,8 @@ use ldx::{BatchEngine, BatchJob, InstrumentCache};
 use ldx_dualex::{DualSpec, Mutation, SourceSpec};
 
 fn main() {
+    let (_args, obs_args) = ldx::obs::parse_obs_args(std::env::args().skip(1).collect());
+    ldx::obs::init(&obs_args);
     let strategies = [
         ("off-by-one", Mutation::OffByOne),
         ("bit-flip", Mutation::BitFlip),
@@ -93,11 +95,7 @@ fn main() {
          matters (strong causality), not that off-by-one dominates \
          pointwise."
     );
-    eprintln!(
-        "[batch] workers={} jobs={} utilization={:.0}% compiles={}",
-        batch.workers,
-        batch.results.len(),
-        batch.utilization() * 100.0,
-        cache.compiles(),
-    );
+    if let Err(e) = ldx::obs::finish(&obs_args) {
+        eprintln!("could not write observability output: {e}");
+    }
 }

@@ -29,7 +29,7 @@
 //! and on the auto-sized work-stealing pool — and writes the measured
 //! per-program wall times and the corpus speedup to `batch_metrics.json`.
 //!
-//! Run: `cargo run -p ldx-bench --release --bin figure6 [reps]`
+//! Run: `cargo run -p ldx-bench --release --bin figure6 [reps] [--trace t.json] [--metrics m.json]`
 
 use ldx::{BatchEngine, BatchJob, InstrumentCache};
 use ldx_baselines::ei_dual_execute;
@@ -43,10 +43,9 @@ use ldx_taint::{taint_execute, TaintPolicy};
 use std::time::Duration;
 
 fn main() {
-    let reps: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(5);
+    let (args, obs_args) = ldx::obs::parse_obs_args(std::env::args().skip(1).collect());
+    ldx::obs::init(&obs_args);
+    let reps: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(5);
     let cpus = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -207,6 +206,9 @@ fn main() {
 
     let path = write_metrics(cpus, &sequential, &parallel, speedup);
     println!("machine-readable metrics: {path}");
+    if let Err(e) = ldx::obs::finish(&obs_args) {
+        eprintln!("could not write observability output: {e}");
+    }
 }
 
 /// Emits `batch_metrics.json` (hand-rolled writer; no serde in the hot

@@ -3,20 +3,25 @@
 //! Columns mirror the paper: program, LOC, instrumented instructions
 //! (count + percent), instrumented loops / recursive call sites / indirect
 //! (fptr) call sites, sinks, syscall sites, max static counter, dynamic
-//! counter (avg/max) and counter-stack depth from a run, and the number of
-//! mutated inputs (sources).
+//! counter (avg/max) and counter-stack depth from a run, plus the
+//! barrier-crossing totals (count and wall-clock) the alignment-stall
+//! profiler agrees with, and the number of mutated inputs (sources).
 //!
 //! Rows run on the batch engine's pool; the instrumentation cache compiles
 //! each source once and feeds both the static report and the dynamic run.
 //!
-//! Run: `cargo run -p ldx-bench --bin table1`
+//! Run: `cargo run -p ldx-bench --bin table1 [--trace t.json] [--metrics m.json]`
 
 use ldx::{BatchEngine, InstrumentCache};
 use ldx_bench::run_native_timed;
 
 fn main() {
+    let (_args, obs_args) = ldx::obs::parse_obs_args(std::env::args().skip(1).collect());
+    ldx::obs::init(&obs_args);
+    // The barrier columns need hot-path timing regardless of the flags.
+    ldx::obs::enable_profiling();
     println!(
-        "{:<10} {:>5} {:>7} {:>7} {:>6} {:>6} {:>5} {:>6} {:>5} {:>8} {:>9} {:>6} {:>5} {:>7}",
+        "{:<10} {:>5} {:>7} {:>7} {:>6} {:>6} {:>5} {:>6} {:>5} {:>8} {:>9} {:>6} {:>5} {:>6} {:>8} {:>7}",
         "program",
         "loc",
         "instrs",
@@ -30,6 +35,8 @@ fn main() {
         "dyn-avg",
         "dyn-max",
         "stack",
+        "barr",
+        "barr-ms",
         "sources"
     );
     let engine = BatchEngine::auto();
@@ -42,7 +49,7 @@ fn main() {
         let orig = report.total_original_instrs();
         let added = report.total_added_instrs();
         let line = format!(
-            "{:<10} {:>5} {:>7} {:>6.2}% {:>6} {:>6} {:>5} {:>6} {:>5} {:>8} {:>9.2} {:>6} {:>5} {:>7}",
+            "{:<10} {:>5} {:>7} {:>6.2}% {:>6} {:>6} {:>5} {:>6} {:>5} {:>8} {:>9.2} {:>6} {:>5} {:>6} {:>8.2} {:>7}",
             w.name,
             w.loc(),
             orig,
@@ -56,6 +63,8 @@ fn main() {
             stats.cnt_avg(),
             stats.cnt_max,
             stats.max_counter_depth,
+            stats.barrier_waits,
+            stats.barrier_wait_ns as f64 / 1e6,
             w.sources.len(),
         );
         (line, orig, added)
@@ -73,10 +82,7 @@ fn main() {
         "\naverage instrumented fraction: {:.2}% (paper reports 3.44% for its suite)",
         frac * 100.0
     );
-    eprintln!(
-        "[batch] workers={} compiles={} cache-hits={}",
-        engine.workers(),
-        cache.compiles(),
-        cache.hits()
-    );
+    if let Err(e) = ldx::obs::finish(&obs_args) {
+        eprintln!("could not write observability output: {e}");
+    }
 }

@@ -30,6 +30,8 @@ fn verdict(leak: bool) -> &'static str {
 }
 
 fn main() {
+    let (_args, obs_args) = ldx::obs::parse_obs_args(std::env::args().skip(1).collect());
+    ldx::obs::init(&obs_args);
     println!(
         "{:<10} {:>6} {:>6} {:>9} {:>9} {:>12} {:>8}",
         "program", "ldx-1", "ldx-2", "tightlip1", "tightlip2", "sys-diffs", "diff%"
@@ -100,10 +102,7 @@ fn main() {
          while TightLip reports O for both inputs whenever the mutation \
          perturbs the syscall stream (paper §8.2)."
     );
-    eprintln!(
-        "[batch] workers={} compiles={} cache-hits={}",
-        engine.workers(),
-        cache.compiles(),
-        cache.hits()
-    );
+    if let Err(e) = ldx::obs::finish(&obs_args) {
+        eprintln!("could not write observability output: {e}");
+    }
 }

@@ -40,6 +40,8 @@ struct Row {
 }
 
 fn main() {
+    let (_args, obs_args) = ldx::obs::parse_obs_args(std::env::args().skip(1).collect());
+    ldx::obs::init(&obs_args);
     println!(
         "{:<12} {:>5} {:>5} {:>5} | {:>9} {:>11} {:>8} {:>12}",
         "program", "ldx", "tg", "dft", "ldx-sinks", "tg-sinks", "dft-sinks", "total-sinks"
@@ -108,10 +110,7 @@ fn main() {
         dft_cases as f64 * 100.0 / ldx_cases.max(1) as f64,
     );
     println!("paper: TAINTGRIND 31.47%, LIBDFT 20% of LDX's detected cases.");
-    eprintln!(
-        "[batch] workers={} compiles={} cache-hits={}",
-        engine.workers(),
-        cache.compiles(),
-        cache.hits()
-    );
+    if let Err(e) = ldx::obs::finish(&obs_args) {
+        eprintln!("could not write observability output: {e}");
+    }
 }

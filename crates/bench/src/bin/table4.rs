@@ -19,8 +19,10 @@ use ldx_bench::{mean, stddev};
 use ldx_workloads::{by_suite, Suite};
 
 fn main() {
-    let runs: usize = std::env::args()
-        .nth(1)
+    let (args, obs_args) = ldx::obs::parse_obs_args(std::env::args().skip(1).collect());
+    ldx::obs::init(&obs_args);
+    let runs: usize = args
+        .first()
         .and_then(|s| s.parse().ok())
         .unwrap_or(100)
         .max(1);
@@ -76,11 +78,7 @@ fn main() {
          tainted-sink σ near 0 except where a racy statistic feeds the sink \
          (mtget/mtenc, mirroring the paper's axel/x264)."
     );
-    eprintln!(
-        "[batch] workers={} jobs={} utilization={:.0}% compiles={}",
-        batch.workers,
-        batch.results.len(),
-        batch.utilization() * 100.0,
-        cache.compiles(),
-    );
+    if let Err(e) = ldx::obs::finish(&obs_args) {
+        eprintln!("could not write observability output: {e}");
+    }
 }

@@ -182,7 +182,10 @@ impl BatchEngine {
         let started = Instant::now();
         let (results, worker_busy) = self.dispatch(jobs, |ctx, job| {
             let t0 = Instant::now();
+            let span = ldx_obs::span(ldx_obs::cat::BATCH, job.label.clone())
+                .arg("worker", ctx.worker as i64);
             let report = dual_execute(job.program, &job.world, &job.spec);
+            drop(span);
             JobResult {
                 label: job.label,
                 report,
@@ -221,6 +224,8 @@ impl BatchEngine {
         F: Fn(TaskCtx, T) -> R + Sync,
     {
         let n = items.len();
+        ldx_obs::counter_add("batch.jobs", n as u64);
+        ldx_obs::counter_max("batch.workers", self.workers as u64);
         let injector = Injector::new();
         for (index, item) in items.into_iter().enumerate() {
             injector.push(Task {
@@ -243,9 +248,14 @@ impl BatchEngine {
                 handles.push(scope.spawn(move || {
                     let mut busy = Duration::ZERO;
                     while let Some(task) = next_task(local, injector, stealers, worker) {
+                        let queue_latency = task.enqueued.elapsed();
+                        ldx_obs::histogram_record(
+                            "batch.queue_latency_ns",
+                            queue_latency.as_nanos() as u64,
+                        );
                         let ctx = TaskCtx {
                             worker,
-                            queue_latency: task.enqueued.elapsed(),
+                            queue_latency,
                         };
                         let t0 = Instant::now();
                         let result = f(ctx, task.item);
@@ -297,6 +307,7 @@ fn next_task<T>(
     loop {
         match injector.steal() {
             Steal::Success(task) => {
+                ldx_obs::counter_add("batch.refills", 1);
                 for _ in 0..REFILL_BATCH {
                     match injector.steal() {
                         Steal::Success(extra) => local.push(extra),
@@ -314,7 +325,10 @@ fn next_task<T>(
                 continue;
             }
             match stealer.steal() {
-                Steal::Success(task) => return Some(task),
+                Steal::Success(task) => {
+                    ldx_obs::counter_add("batch.steals", 1);
+                    return Some(task);
+                }
                 Steal::Retry => retry = true,
                 Steal::Empty => {}
             }

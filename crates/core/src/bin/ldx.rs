@@ -1,48 +1,49 @@
 //! The `ldx` command-line tool: run a causality analysis on an Lx program.
 //!
 //! ```console
-//! $ ldx <program.lx> <experiment.ldx> [--attribute] [--strength]
+//! $ ldx <program.lx> [experiment.ldx] [--attribute] [--strength] [--taint]
+//!       [--trace <out.json>] [--metrics <out.json>]
 //! ```
 //!
 //! The experiment file describes the world (files, peers, clients) and the
-//! analysis (sources, sinks, trace/enforce flags); see
-//! [`ldx::specfile`] for the format.
+//! analysis (sources, sinks, trace/enforce flags); see [`ldx::specfile`]
+//! for the format. Without one, the program runs in an empty world with
+//! the default sink specification.
+//!
+//! `--trace` writes a Chrome `trace_event` JSON of the run (open in
+//! Perfetto); `--metrics` writes the flat metrics dump. See
+//! `docs/OBSERVABILITY.md`.
 
+use ldx::obs;
 use ldx::specfile::parse_experiment;
 use ldx::Analysis;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (args, obs_args) = obs::parse_obs_args(std::env::args().skip(1).collect());
+    obs::init(&obs_args);
     let flags: Vec<&str> = args
         .iter()
         .filter(|a| a.starts_with("--"))
         .map(String::as_str)
         .collect();
     let files: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
-    let [program_path, experiment_path] = files.as_slice() else {
-        eprintln!("usage: ldx <program.lx> <experiment.ldx> [--attribute] [--strength] [--taint]");
-        return ExitCode::from(2);
+    let (program_path, experiment_path) = match files.as_slice() {
+        [program] => (*program, None),
+        [program, experiment] => (*program, Some(*experiment)),
+        _ => {
+            eprintln!(
+                "usage: ldx <program.lx> [experiment.ldx] [--attribute] [--strength] [--taint] \
+                 [--trace <out.json>] [--metrics <out.json>]"
+            );
+            return ExitCode::from(2);
+        }
     };
 
     let source = match std::fs::read_to_string(program_path) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("cannot read {program_path}: {e}");
-            return ExitCode::from(2);
-        }
-    };
-    let experiment_text = match std::fs::read_to_string(experiment_path) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("cannot read {experiment_path}: {e}");
-            return ExitCode::from(2);
-        }
-    };
-    let experiment = match parse_experiment(&experiment_text) {
-        Ok(e) => e,
-        Err(e) => {
-            eprintln!("{experiment_path}: {e}");
             return ExitCode::from(2);
         }
     };
@@ -54,26 +55,42 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    analysis = analysis.world(experiment.world);
-    for s in experiment.spec.sources {
-        analysis = analysis.source(s);
-    }
-    analysis = analysis.sinks(experiment.spec.sinks);
-    if experiment.spec.trace {
-        analysis = analysis.traced();
-    }
-    if experiment.spec.enforcement {
-        analysis = analysis.enforcing();
+    if let Some(experiment_path) = experiment_path {
+        let experiment_text = match std::fs::read_to_string(experiment_path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot read {experiment_path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let experiment = match parse_experiment(&experiment_text) {
+            Ok(e) => e,
+            Err(e) => {
+                eprintln!("{experiment_path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        analysis = analysis.world(experiment.world);
+        for s in experiment.spec.sources {
+            analysis = analysis.source(s);
+        }
+        analysis = analysis.sinks(experiment.spec.sinks);
+        if experiment.spec.trace {
+            analysis = analysis.traced();
+        }
+        if experiment.spec.enforcement {
+            analysis = analysis.enforcing();
+        }
     }
 
-    eprintln!(
-        "instrumentation: {} instrs, {} added ({:.2}%), {} loops, max cnt {}",
-        analysis.instrumentation_report().total_original_instrs(),
-        analysis.instrumentation_report().total_added_instrs(),
-        analysis.instrumentation_report().instrumented_fraction() * 100.0,
-        analysis.instrumentation_report().total_loops(),
-        analysis.instrumentation_report().max_cnt,
+    let instr = analysis.instrumentation_report();
+    obs::counter_add(
+        "instrument.original_instrs",
+        instr.total_original_instrs() as u64,
     );
+    obs::counter_add("instrument.added_instrs", instr.total_added_instrs() as u64);
+    obs::counter_add("instrument.loops", instr.total_loops() as u64);
+    obs::counter_max("instrument.max_cnt", instr.max_cnt);
 
     let report = analysis.run();
     for line in report.trace_lines() {
@@ -116,6 +133,11 @@ fn main() -> ExitCode {
             s.probed,
             s.score()
         );
+    }
+
+    if let Err(e) = obs::finish(&obs_args) {
+        eprintln!("cannot write observability output: {e}");
+        return ExitCode::from(2);
     }
 
     if report.leaked() {

@@ -58,9 +58,12 @@ impl InstrumentCache {
         let mut map = self.instrumented.lock();
         if let Some(hit) = map.get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            ldx_obs::counter_add("cache.hits", 1);
             return Ok(hit.clone());
         }
         self.compiles.fetch_add(1, Ordering::Relaxed);
+        ldx_obs::counter_add("cache.compiles", 1);
+        let _s = ldx_obs::span(ldx_obs::cat::COMPILE, "compile+instrument");
         let resolved = ldx_lang::compile(source)?;
         let instrumented = ldx_instrument::instrument(&ldx_ir::lower(&resolved));
         let entry = CachedInstrumented {
@@ -92,9 +95,12 @@ impl InstrumentCache {
         let mut map = self.plain.lock();
         if let Some(hit) = map.get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            ldx_obs::counter_add("cache.hits", 1);
             return Ok(Arc::clone(hit));
         }
         self.compiles.fetch_add(1, Ordering::Relaxed);
+        ldx_obs::counter_add("cache.compiles", 1);
+        let _s = ldx_obs::span(ldx_obs::cat::COMPILE, "compile-plain");
         let resolved = ldx_lang::compile(source)?;
         let program = Arc::new(ldx_ir::lower(&resolved));
         map.insert(key, Arc::clone(&program));

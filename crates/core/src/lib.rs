@@ -46,6 +46,7 @@
 pub mod batch;
 pub mod cache;
 mod extensions;
+pub mod obs;
 pub mod specfile;
 
 pub use batch::{BatchEngine, BatchJob, BatchReport, JobResult};
@@ -99,6 +100,7 @@ impl Analysis {
     ///
     /// Returns the frontend [`Error`] on invalid source.
     pub fn for_source(source: &str) -> Result<Self, Error> {
+        let _s = ldx_obs::span(ldx_obs::cat::COMPILE, "compile+instrument");
         let resolved = ldx_lang::compile(source)?;
         let instrumented = ldx_instrument::instrument(&ldx_ir::lower(&resolved));
         Ok(Self::for_instrumented(instrumented))

@@ -74,6 +74,7 @@ fn dual_execute_inner(program: Arc<IrProgram>, config: &VosConfig, spec: &DualSp
         let mc = Arc::clone(&coupling);
         let mp = Arc::clone(&program);
         let master = s.spawn(move || {
+            let _s = ldx_obs::span(ldx_obs::cat::MASTER, "run");
             let r = run_program(mp, master_hooks, exec);
             mc.finish_execution(Role::Master);
             r
@@ -81,6 +82,7 @@ fn dual_execute_inner(program: Arc<IrProgram>, config: &VosConfig, spec: &DualSp
         let sc = Arc::clone(&coupling);
         let sp = Arc::clone(&program);
         let slave = s.spawn(move || {
+            let _s = ldx_obs::span(ldx_obs::cat::SLAVE, "run");
             let r = run_program(sp, slave_hooks, exec);
             sc.finish_execution(Role::Slave);
             r
@@ -109,6 +111,28 @@ fn dual_execute_inner(program: Arc<IrProgram>, config: &VosConfig, spec: &DualSp
             site: SiteId(0),
             sys: Syscall::Exit,
         });
+    }
+
+    // Mirror the coupling counters into the process-wide registry (one
+    // relaxed load each; the registry sums across batch jobs).
+    if ldx_obs::metrics_enabled() {
+        ldx_obs::counter_add("dualex.runs", 1);
+        ldx_obs::counter_add(
+            "dualex.shared",
+            coupling.stats.shared.load(Ordering::Relaxed),
+        );
+        ldx_obs::counter_add(
+            "dualex.decoupled",
+            coupling.stats.decoupled.load(Ordering::Relaxed),
+        );
+        ldx_obs::counter_add(
+            "dualex.syscall_diffs",
+            coupling.stats.diffs.load(Ordering::Relaxed),
+        );
+        ldx_obs::counter_add(
+            "dualex.master_sinks",
+            coupling.stats.master_sinks.load(Ordering::Relaxed),
+        );
     }
 
     let causality = coupling.records.lock().clone();

@@ -108,6 +108,7 @@ impl SyscallHooks for MasterHooks {
                     // is enqueued, and the sink entry is not (an early-
                     // arriving slave would decouple spuriously otherwise).
                     let pair = self.coupling.pair(&ctx.thread);
+                    let _s = ldx_obs::span(ldx_obs::cat::BARRIER_WAIT, "sink-wait");
                     wait_until(&pair, &ctx.stop, MAX_WAIT, |inner| {
                         inner.slave_done
                             || inner.slave_ready.as_ref().is_some_and(|ready| {
@@ -139,6 +140,7 @@ impl SyscallHooks for MasterHooks {
         self.coupling
             .trace_syscall(Role::Master, thread, key, None, TraceAction::Barrier);
         if self.enforcement {
+            let _s = ldx_obs::span(ldx_obs::cat::BARRIER_WAIT, "loop-barrier");
             wait_until(&pair, _stop, MAX_WAIT, |inner| {
                 inner.slave_done
                     || inner.slave_ready.as_ref().is_some_and(|ready| {

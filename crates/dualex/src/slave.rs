@@ -48,6 +48,28 @@ pub(crate) struct SlaveHooks {
     pub spawn_counts: Mutex<HashMap<ThreadKey, u32>>,
 }
 
+/// Collapses a progress key to a scalar (sum of frame counters and loop
+/// epochs) for coarse stall-delta reporting.
+fn key_scalar(key: &ProgressKey) -> u64 {
+    key.frames
+        .iter()
+        .map(|f| {
+            f.loops
+                .iter()
+                .fold(f.cnt, |acc, &(_, epoch)| acc.saturating_add(epoch))
+        })
+        .fold(0u64, u64::saturating_add)
+}
+
+/// How far the master's published progress is past the slave's key (0
+/// when unknown, terminal, or behind).
+fn master_delta(master: Option<&ProgressKey>, slave: &ProgressKey) -> u64 {
+    match master {
+        Some(m) if !m.is_top() => key_scalar(m).saturating_sub(key_scalar(slave)),
+        _ => 0,
+    }
+}
+
 /// Result of the alignment check.
 enum Align {
     /// Aligned: use the master's outcome.
@@ -77,10 +99,47 @@ impl SlaveHooks {
         parts.join(", ")
     }
 
+    /// The alignment state machine, instrumented. When observability is
+    /// on and the slave actually blocked, the wait is reported to the
+    /// stall profiler (keyed by the barrier's static site) together with
+    /// the master/slave progress-counter delta observed at release.
+    fn align(&self, ctx: &SyscallCtx, args: &[Value], is_sink: bool) -> Align {
+        let mut waits: u64 = 0;
+        if !ldx_obs::enabled() {
+            return self.align_inner(ctx, args, is_sink, &mut waits);
+        }
+        let t0_ns = ldx_obs::now_ns();
+        let out = self.align_inner(ctx, args, is_sink, &mut waits);
+        if waits > 0 {
+            let ns = ldx_obs::now_ns().saturating_sub(t0_ns);
+            let delta = {
+                let pair = self.coupling.pair(&ctx.thread);
+                let inner = pair.inner.lock();
+                master_delta(inner.master_ready.as_ref(), &ctx.key)
+            };
+            ldx_obs::stall_record(&format!("f{}:s{}", ctx.func.0, ctx.site.0), ns, delta);
+            ldx_obs::record_complete(
+                ldx_obs::cat::BARRIER_WAIT,
+                "align-wait",
+                t0_ns,
+                ns,
+                vec![("delta", delta as i64), ("waits", waits as i64)],
+            );
+        }
+        out
+    }
+
     /// The alignment state machine. Never blocks forever: released by the
     /// master's progress, the master's termination, the stop signal, or
-    /// the safety timeout.
-    fn align(&self, ctx: &SyscallCtx, args: &[Value], is_sink: bool) -> Align {
+    /// the safety timeout. `waits` counts condvar blocks for the caller's
+    /// stall accounting.
+    fn align_inner(
+        &self,
+        ctx: &SyscallCtx,
+        args: &[Value],
+        is_sink: bool,
+        waits: &mut u64,
+    ) -> Align {
         let pair = self.coupling.pair(&ctx.thread);
         pair.publish(Role::Slave, ctx.key.clone());
 
@@ -113,6 +172,14 @@ impl SlaveHooks {
                             if front.args == args {
                                 let e = inner.queue.pop_front().expect("front exists");
                                 self.coupling.stats.shared.fetch_add(1, Ordering::Relaxed);
+                                ldx_obs::instant(
+                                    ldx_obs::cat::SYSCALL_DECISION,
+                                    if is_sink {
+                                        "sink-compare"
+                                    } else {
+                                        "aligned-reuse"
+                                    },
+                                );
                                 if is_sink {
                                     self.coupling.trace_syscall(
                                         Role::Slave,
@@ -127,6 +194,7 @@ impl SlaveHooks {
                             // Same site, different arguments (Alg. 2 case 3).
                             let e = inner.queue.pop_front().expect("front exists");
                             if is_sink {
+                                ldx_obs::instant(ldx_obs::cat::SYSCALL_DECISION, "sink-compare");
                                 self.record_sink(
                                     ctx,
                                     CausalityKind::ArgDiff {
@@ -198,6 +266,7 @@ impl SlaveHooks {
             if ctx.stop.should_stop() || start.elapsed() > MAX_WAIT {
                 return Align::Decoupled;
             }
+            *waits += 1;
             pair.cv.wait_for(&mut inner, Duration::from_millis(2));
         }
     }
@@ -363,6 +432,7 @@ impl SlaveHooks {
             .stats
             .decoupled
             .fetch_add(1, Ordering::Relaxed);
+        ldx_obs::instant(ldx_obs::cat::SYSCALL_DECISION, "decoupled");
         self.coupling.trace_syscall(
             Role::Slave,
             &ctx.thread,
@@ -656,6 +726,7 @@ impl SyscallHooks for SlaveHooks {
         // Like the master side, the slave publishes its barrier progress
         // but does not block: its next syscall's alignment wait provides
         // the ordering (detection mode; see DESIGN.md).
+        let _s = ldx_obs::span(ldx_obs::cat::BARRIER_WAIT, "loop-barrier");
         let pair = self.coupling.pair(thread);
         pair.publish(Role::Slave, key.clone());
         self.coupling

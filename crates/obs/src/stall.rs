@@ -1,0 +1,148 @@
+//! The alignment-stall profiler.
+//!
+//! Every time the slave blocks on a progress-counter barrier (waiting
+//! for the master's counters to catch up, or for an outcome slot to be
+//! published), the dual-execution layer reports the wait here, keyed by
+//! the barrier's static site (`f<func>:s<site>`). The profiler
+//! aggregates per barrier: how often it stalled, for how long in total
+//! and at worst, and the progress-counter delta observed at release —
+//! i.e. how far apart the two executions were when the slave resumed.
+//! This pinpoints exactly where the paper's alignment scheme costs
+//! wall-clock.
+
+use crate::metrics::{bucket_bound, bucket_index, BUCKETS};
+use crate::profiling_enabled;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+#[derive(Debug, Clone)]
+struct StallAgg {
+    count: u64,
+    total_wait_ns: u64,
+    max_wait_ns: u64,
+    total_delta: u64,
+    /// Log2 buckets over wait nanoseconds.
+    wait_buckets: [u64; BUCKETS],
+}
+
+impl Default for StallAgg {
+    fn default() -> Self {
+        Self {
+            count: 0,
+            total_wait_ns: 0,
+            max_wait_ns: 0,
+            total_delta: 0,
+            wait_buckets: [0; BUCKETS],
+        }
+    }
+}
+
+static STALLS: Mutex<Option<BTreeMap<String, StallAgg>>> = Mutex::new(None);
+
+fn with_stalls<R>(f: impl FnOnce(&mut BTreeMap<String, StallAgg>) -> R) -> R {
+    let mut guard = STALLS
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    f(guard.get_or_insert_with(BTreeMap::new))
+}
+
+pub(crate) fn clear() {
+    let mut guard = STALLS
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    *guard = None;
+}
+
+/// Records one stall at `barrier`: the slave blocked for `wait_ns` and
+/// observed a progress-counter delta of `delta` when released. No-op
+/// while profiling is disabled.
+pub fn stall_record(barrier: &str, wait_ns: u64, delta: u64) {
+    if !profiling_enabled() {
+        return;
+    }
+    with_stalls(|m| {
+        let agg = match m.get_mut(barrier) {
+            Some(agg) => agg,
+            None => m.entry(barrier.to_string()).or_default(),
+        };
+        agg.count += 1;
+        agg.total_wait_ns += wait_ns;
+        agg.max_wait_ns = agg.max_wait_ns.max(wait_ns);
+        agg.total_delta += delta;
+        agg.wait_buckets[bucket_index(wait_ns)] += 1;
+    });
+}
+
+/// One barrier's aggregated stall profile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StallSnapshot {
+    /// Barrier site key, `f<func>:s<site>`.
+    pub barrier: String,
+    /// Number of stalls recorded.
+    pub count: u64,
+    /// Total nanoseconds the slave spent blocked here.
+    pub total_wait_ns: u64,
+    /// Longest single stall.
+    pub max_wait_ns: u64,
+    /// Sum of the progress-counter deltas observed at release.
+    pub total_delta: u64,
+    /// Non-empty wait-time buckets as `(inclusive upper bound ns, count)`.
+    pub wait_buckets: Vec<(u64, u64)>,
+}
+
+/// All barriers' profiles, sorted by barrier key.
+pub fn stalls_snapshot() -> Vec<StallSnapshot> {
+    with_stalls(|m| {
+        m.iter()
+            .map(|(barrier, agg)| StallSnapshot {
+                barrier: barrier.clone(),
+                count: agg.count,
+                total_wait_ns: agg.total_wait_ns,
+                max_wait_ns: agg.max_wait_ns,
+                total_delta: agg.total_delta,
+                wait_buckets: agg
+                    .wait_buckets
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &c)| c > 0)
+                    .map(|(i, &c)| (bucket_bound(i), c))
+                    .collect(),
+            })
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{enable_profiling, reset, testutil};
+
+    #[test]
+    fn stalls_aggregate_per_barrier() {
+        let _g = testutil::lock();
+        reset();
+        enable_profiling();
+        stall_record("f0:s3", 100, 2);
+        stall_record("f0:s3", 300, 4);
+        stall_record("f1:s7", 50, 1);
+        let snaps = stalls_snapshot();
+        assert_eq!(snaps.len(), 2);
+        let a = &snaps[0];
+        assert_eq!(a.barrier, "f0:s3");
+        assert_eq!(a.count, 2);
+        assert_eq!(a.total_wait_ns, 400);
+        assert_eq!(a.max_wait_ns, 300);
+        assert_eq!(a.total_delta, 6);
+        assert_eq!(a.wait_buckets.iter().map(|&(_, c)| c).sum::<u64>(), 2);
+        assert_eq!(snaps[1].barrier, "f1:s7");
+        reset();
+    }
+
+    #[test]
+    fn disabled_profiler_records_nothing() {
+        let _g = testutil::lock();
+        reset();
+        stall_record("f0:s0", 10, 1);
+        assert!(stalls_snapshot().is_empty());
+    }
+}

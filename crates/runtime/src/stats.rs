@@ -20,6 +20,11 @@ pub struct RunStats {
     pub max_activation_depth: usize,
     /// Lx threads spawned.
     pub threads_spawned: u64,
+    /// Loop-backedge barrier crossings (hook invocations at backedges).
+    pub barrier_waits: u64,
+    /// Nanoseconds spent inside barrier hooks. Only accumulated while
+    /// `ldx_obs::enabled()` — zero in plain (untimed) runs.
+    pub barrier_wait_ns: u64,
 }
 
 impl RunStats {
@@ -50,6 +55,8 @@ impl RunStats {
         self.max_counter_depth = self.max_counter_depth.max(other.max_counter_depth);
         self.max_activation_depth = self.max_activation_depth.max(other.max_activation_depth);
         self.threads_spawned += other.threads_spawned;
+        self.barrier_waits += other.barrier_waits;
+        self.barrier_wait_ns += other.barrier_wait_ns;
     }
 }
 
@@ -79,6 +86,8 @@ mod tests {
             max_counter_depth: 1,
             max_activation_depth: 4,
             threads_spawned: 1,
+            barrier_waits: 3,
+            barrier_wait_ns: 100,
         };
         let b = RunStats {
             steps: 5,
@@ -89,6 +98,8 @@ mod tests {
             max_counter_depth: 2,
             max_activation_depth: 2,
             threads_spawned: 0,
+            barrier_waits: 2,
+            barrier_wait_ns: 50,
         };
         a.merge(&b);
         assert_eq!(a.steps, 15);
@@ -96,5 +107,7 @@ mod tests {
         assert_eq!(a.cnt_max, 9);
         assert_eq!(a.max_counter_depth, 2);
         assert_eq!(a.max_activation_depth, 4);
+        assert_eq!(a.barrier_waits, 5);
+        assert_eq!(a.barrier_wait_ns, 150);
     }
 }
