@@ -5,7 +5,9 @@
 //! (fptr) call sites, sinks, syscall sites, max static counter, dynamic
 //! counter (avg/max) and counter-stack depth from a run, plus the
 //! barrier-crossing totals (count and wall-clock) the alignment-stall
-//! profiler agrees with, and the number of mutated inputs (sources).
+//! profiler agrees with, the number of mutated inputs (sources), and the
+//! source pairs the `ldx-sdep` pre-filter proves inert (pruned, counted
+//! over declared plus statically discovered sources).
 //!
 //! Rows run on the batch engine's pool; the instrumentation cache compiles
 //! each source once and feeds both the static report and the dynamic run.
@@ -21,7 +23,7 @@ fn main() {
     // The barrier columns need hot-path timing regardless of the flags.
     ldx::obs::enable_profiling();
     println!(
-        "{:<10} {:>5} {:>7} {:>7} {:>6} {:>6} {:>5} {:>6} {:>5} {:>8} {:>9} {:>6} {:>5} {:>6} {:>8} {:>7}",
+        "{:<10} {:>5} {:>7} {:>7} {:>6} {:>6} {:>5} {:>6} {:>5} {:>8} {:>9} {:>6} {:>5} {:>6} {:>8} {:>7} {:>6}",
         "program",
         "loc",
         "instrs",
@@ -37,7 +39,8 @@ fn main() {
         "stack",
         "barr",
         "barr-ms",
-        "sources"
+        "sources",
+        "pruned"
     );
     let engine = BatchEngine::auto();
     let cache = InstrumentCache::new();
@@ -48,8 +51,20 @@ fn main() {
         let stats = out.map(|o| o.stats).unwrap_or_default();
         let orig = report.total_original_instrs();
         let added = report.total_added_instrs();
+        let sdep = ldx::sdep::StaticAnalysis::analyze(&compiled.program);
+        let mut probe_sources = w.sources.clone();
+        for d in sdep.discovered_sources() {
+            if !probe_sources.iter().any(|s| s.matcher == d.matcher) {
+                probe_sources.push(d);
+            }
+        }
+        let pruned = probe_sources
+            .iter()
+            .filter(|s| !sdep.may_cause(s, &w.sinks))
+            .count();
+        ldx::obs::counter_add("sdep.pruned_pairs", pruned as u64);
         let line = format!(
-            "{:<10} {:>5} {:>7} {:>6.2}% {:>6} {:>6} {:>5} {:>6} {:>5} {:>8} {:>9.2} {:>6} {:>5} {:>6} {:>8.2} {:>7}",
+            "{:<10} {:>5} {:>7} {:>6.2}% {:>6} {:>6} {:>5} {:>6} {:>5} {:>8} {:>9.2} {:>6} {:>5} {:>6} {:>8.2} {:>7} {:>6}",
             w.name,
             w.loc(),
             orig,
@@ -66,6 +81,7 @@ fn main() {
             stats.barrier_waits,
             stats.barrier_wait_ns as f64 / 1e6,
             w.sources.len(),
+            pruned,
         );
         (line, orig, added)
     });

@@ -2,13 +2,21 @@
 //!
 //! ```console
 //! $ ldx <program.lx> [experiment.ldx] [--attribute] [--strength] [--taint]
-//!       [--trace <out.json>] [--metrics <out.json>]
+//!       [--no-prune] [--trace <out.json>] [--metrics <out.json>]
+//! $ ldx analyze <program.lx> [--json <out.json>] [--dot <out.dot>]
 //! ```
 //!
 //! The experiment file describes the world (files, peers, clients) and the
 //! analysis (sources, sinks, trace/enforce flags); see [`ldx::specfile`]
 //! for the format. Without one, the program runs in an empty world with
 //! the default sink specification.
+//!
+//! `--attribute` and `--strength` skip dual executions for pairs the
+//! static analysis (`ldx-sdep`) proves independent; `--no-prune` disables
+//! that pre-filter. The `analyze` subcommand runs only the static analysis
+//! and emits the dependence graph and per-site reachability as JSON (the
+//! shape of `schemas/sdep_schema.json`; stdout by default, or `--json`)
+//! and Graphviz DOT (`--dot`). See `docs/ANALYSIS.md`.
 //!
 //! `--trace` writes a Chrome `trace_event` JSON of the run (open in
 //! Perfetto); `--metrics` writes the flat metrics dump. See
@@ -19,9 +27,74 @@ use ldx::specfile::parse_experiment;
 use ldx::Analysis;
 use std::process::ExitCode;
 
+/// `ldx analyze <program.lx> [--json <path>] [--dot <path>]`: static
+/// analysis only, no execution.
+fn run_analyze(args: &[String], obs_args: &obs::ObsArgs) -> ExitCode {
+    let mut program_path = None;
+    let mut json_path = None;
+    let mut dot_path = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json_path = it.next(),
+            "--dot" => dot_path = it.next(),
+            _ if !arg.starts_with("--") && program_path.is_none() => program_path = Some(arg),
+            _ => {
+                eprintln!("usage: ldx analyze <program.lx> [--json <out.json>] [--dot <out.dot>]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(program_path) = program_path else {
+        eprintln!("usage: ldx analyze <program.lx> [--json <out.json>] [--dot <out.dot>]");
+        return ExitCode::from(2);
+    };
+    let source = match std::fs::read_to_string(program_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {program_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let analysis = match Analysis::for_source(&source) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{program_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let program = analysis.program();
+    let sdep = analysis.static_analysis();
+    let json = ldx::sdep::analysis_to_json(&program, &sdep, program_path);
+    match json_path {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &json) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+        None => print!("{json}"),
+    }
+    if let Some(path) = dot_path {
+        let dot = ldx::sdep::pdg_to_dot(&program, &sdep);
+        if let Err(e) = std::fs::write(path, &dot) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    if let Err(e) = obs::finish(obs_args) {
+        eprintln!("cannot write observability output: {e}");
+        return ExitCode::from(2);
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let (args, obs_args) = obs::parse_obs_args(std::env::args().skip(1).collect());
     obs::init(&obs_args);
+    if args.first().map(String::as_str) == Some("analyze") {
+        return run_analyze(&args[1..], &obs_args);
+    }
     let flags: Vec<&str> = args
         .iter()
         .filter(|a| a.starts_with("--"))
@@ -34,7 +107,8 @@ fn main() -> ExitCode {
         _ => {
             eprintln!(
                 "usage: ldx <program.lx> [experiment.ldx] [--attribute] [--strength] [--taint] \
-                 [--trace <out.json>] [--metrics <out.json>]"
+                 [--no-prune] [--trace <out.json>] [--metrics <out.json>]\n\
+                 \x20      ldx analyze <program.lx> [--json <out.json>] [--dot <out.dot>]"
             );
             return ExitCode::from(2);
         }
@@ -82,6 +156,9 @@ fn main() -> ExitCode {
             analysis = analysis.enforcing();
         }
     }
+    if flags.contains(&"--no-prune") {
+        analysis = analysis.no_prune();
+    }
 
     let instr = analysis.instrumentation_report();
     obs::counter_add(
@@ -107,7 +184,13 @@ fn main() -> ExitCode {
                 "source #{} {:?}: {}",
                 attr.index,
                 attr.source.matcher,
-                if attr.causal { "CAUSAL" } else { "inert" }
+                if attr.pruned {
+                    "inert (statically pruned)"
+                } else if attr.causal {
+                    "CAUSAL"
+                } else {
+                    "inert"
+                }
             );
         }
     }

@@ -15,6 +15,7 @@
 
 use crate::{Analysis, BatchEngine, BatchJob};
 use ldx_dualex::{DualReport, DualSpec, Mutation, SourceSpec};
+use ldx_runtime::{RunOutcome, RunStats, Value};
 
 /// Verdict for one source (see [`Analysis::attribute_sources`]).
 #[derive(Debug, Clone)]
@@ -25,8 +26,32 @@ pub struct SourceAttribution {
     pub source: SourceSpec,
     /// Whether mutating *only* this source produced causality.
     pub causal: bool,
+    /// The dual execution was skipped because `ldx-sdep` proved the
+    /// (source, sinks) pair statically independent. Implies `!causal`,
+    /// and `report` is an empty placeholder.
+    pub pruned: bool,
     /// The per-source dual-execution report.
     pub report: DualReport,
+}
+
+/// The placeholder report attached to statically pruned pairs: no runs
+/// happened, so every field is the "nothing observed" value.
+fn pruned_report() -> DualReport {
+    let outcome = || RunOutcome {
+        exit_code: 0,
+        result: Value::Int(0),
+        stats: RunStats::default(),
+    };
+    DualReport {
+        causality: vec![],
+        master: Ok(outcome()),
+        slave: Ok(outcome()),
+        syscall_diffs: 0,
+        shared: 0,
+        decoupled: 0,
+        master_sinks: 0,
+        trace: vec![],
+    }
 }
 
 /// Empirical causal-strength estimate (see [`Analysis::causal_strength`]).
@@ -68,12 +93,33 @@ impl Analysis {
 
     /// [`Analysis::attribute_sources`] on a caller-provided pool. Results
     /// are in source order regardless of the schedule.
+    ///
+    /// With pruning enabled (the default), sources `ldx-sdep` proves
+    /// statically independent of the sinks skip their dual execution
+    /// entirely and come back with [`SourceAttribution::pruned`] set; the
+    /// skips are counted in the `sdep.pruned_pairs` metric. Every report
+    /// that *does* run is checked against the static map (the soundness
+    /// oracle) in debug builds.
     pub fn attribute_sources_with(&self, engine: &BatchEngine) -> Vec<SourceAttribution> {
         let spec = self.spec();
+        let sdep = self.prune_enabled().then(|| self.static_analysis());
+        let should_run: Vec<bool> = spec
+            .sources
+            .iter()
+            .map(|source| {
+                sdep.as_ref()
+                    .is_none_or(|a| a.may_cause(source, &spec.sinks))
+            })
+            .collect();
+        let pruned_count = should_run.iter().filter(|run| !**run).count();
+        if pruned_count > 0 {
+            crate::obs::counter_add("sdep.pruned_pairs", pruned_count as u64);
+        }
         let jobs = spec
             .sources
             .iter()
             .enumerate()
+            .filter(|&(index, _)| should_run[index])
             .map(|(index, source)| {
                 let single = DualSpec {
                     sources: vec![source.clone()],
@@ -90,17 +136,37 @@ impl Analysis {
                 )
             })
             .collect();
-        engine
-            .run(jobs)
-            .results
-            .into_iter()
-            .zip(&spec.sources)
+        let mut results = engine.run(jobs).results.into_iter();
+        spec.sources
+            .iter()
             .enumerate()
-            .map(|(index, (result, source))| SourceAttribution {
-                index,
-                source: source.clone(),
-                causal: result.report.leaked(),
-                report: result.report,
+            .map(|(index, source)| {
+                if !should_run[index] {
+                    return SourceAttribution {
+                        index,
+                        source: source.clone(),
+                        causal: false,
+                        pruned: true,
+                        report: pruned_report(),
+                    };
+                }
+                let report = results.next().expect("one result per scheduled job").report;
+                if let Some(analysis) = &sdep {
+                    debug_assert!(
+                        analysis
+                            .check_report(std::slice::from_ref(source), &report)
+                            .is_ok(),
+                        "soundness oracle: causality record outside the static map \
+                         for source #{index} ({source:?})"
+                    );
+                }
+                SourceAttribution {
+                    index,
+                    source: source.clone(),
+                    causal: report.leaked(),
+                    pruned: false,
+                    report,
+                }
             })
             .collect()
     }
@@ -117,6 +183,10 @@ impl Analysis {
 
     /// [`Analysis::causal_strength`] on a caller-provided pool: the whole
     /// battery runs as one batch.
+    ///
+    /// With pruning enabled, probes whose (mutated source, sinks) pair is
+    /// statically independent never run — they count as probed but not
+    /// flipped, exactly what the dual execution would have concluded.
     pub fn causal_strength_with(
         &self,
         engine: &BatchEngine,
@@ -131,9 +201,29 @@ impl Analysis {
         };
         let mut battery = vec![Mutation::OffByOne, Mutation::BitFlip, Mutation::Zero];
         battery.extend(probes.iter().cloned());
+        let sdep = self.prune_enabled().then(|| self.static_analysis());
+        let should_run: Vec<bool> = battery
+            .iter()
+            .map(|mutation| {
+                sdep.as_ref().is_none_or(|a| {
+                    a.may_cause(
+                        &SourceSpec {
+                            matcher: base.matcher.clone(),
+                            mutation: mutation.clone(),
+                        },
+                        &spec.sinks,
+                    )
+                })
+            })
+            .collect();
+        let pruned_count = should_run.iter().filter(|run| !**run).count();
+        if pruned_count > 0 {
+            crate::obs::counter_add("sdep.pruned_pairs", pruned_count as u64);
+        }
         let jobs = battery
             .iter()
             .enumerate()
+            .filter(|&(index, _)| should_run[index])
             .map(|(index, mutation)| {
                 let single = DualSpec {
                     sources: vec![SourceSpec {
@@ -197,6 +287,18 @@ mod tests {
         assert_eq!(attributions.len(), 2);
         assert!(attributions[0].causal, "/a flows to the sink");
         assert!(!attributions[1].causal, "/b does not");
+    }
+
+    #[test]
+    fn pruning_skips_inert_sources_without_changing_verdicts() {
+        let pruned = two_source_analysis().attribute_sources();
+        let full = two_source_analysis().no_prune().attribute_sources();
+        assert!(pruned[1].pruned, "/b is statically independent");
+        assert!(!pruned[0].pruned, "/a must still run");
+        assert!(full.iter().all(|a| !a.pruned), "--no-prune runs everything");
+        for (p, f) in pruned.iter().zip(&full) {
+            assert_eq!(p.causal, f.causal, "pruning must not change verdicts");
+        }
     }
 
     #[test]

@@ -57,7 +57,7 @@ use ldx_dualex::dual_execute;
 use ldx_instrument::InstrumentedProgram;
 use ldx_ir::IrProgram;
 use ldx_vos::VosConfig;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 pub use ldx_dualex::{
     CausalityKind, CausalityRecord, DualReport, DualSpec, Mutation, SinkSpec, SourceMatcher,
@@ -68,6 +68,10 @@ pub use ldx_lang::LangError as Error;
 pub use ldx_runtime::{ExecConfig, RunOutcome, RunStats, Trap, Value};
 pub use ldx_taint::{TaintPolicy, TaintReport};
 
+/// Re-export of the static program-dependence analysis (`ldx-sdep`):
+/// PDG construction, sink-reachability pruning, and the soundness oracle.
+pub use ldx_sdep as sdep;
+
 /// Re-export of the virtual OS types used to describe worlds.
 pub mod vos {
     pub use ldx_vos::{PeerBehavior, SlaveVos, Vos, VosConfig, VosError};
@@ -76,7 +80,8 @@ pub mod vos {
 /// Re-export of the frontend/IR layers for advanced users.
 pub mod compiler {
     pub use ldx_instrument::{
-        check_counter_consistency, instrument, CounterAnalysis, InstrumentedProgram,
+        check_counter_consistency, check_counter_consistency_all, instrument, CounterAnalysis,
+        InstrumentedProgram,
     };
     pub use ldx_ir::{lower, IrProgram};
     pub use ldx_lang::{compile, parse, ResolvedProgram};
@@ -91,6 +96,8 @@ pub struct Analysis {
     report: InstrumentationReport,
     world: VosConfig,
     spec: DualSpec,
+    prune: bool,
+    sdep_cache: Arc<OnceLock<Arc<sdep::StaticAnalysis>>>,
 }
 
 impl Analysis {
@@ -114,6 +121,8 @@ impl Analysis {
             report,
             world: VosConfig::new(),
             spec: DualSpec::default(),
+            prune: true,
+            sdep_cache: Arc::new(OnceLock::new()),
         }
     }
 
@@ -152,6 +161,28 @@ impl Analysis {
     pub fn exec_config(mut self, exec: ExecConfig) -> Self {
         self.spec.exec = exec;
         self
+    }
+
+    /// Disables the static pruning pre-filter: every per-source /
+    /// per-probe dual execution runs even when `ldx-sdep` proves the pair
+    /// independent (the `--no-prune` escape hatch).
+    pub fn no_prune(mut self) -> Self {
+        self.prune = false;
+        self
+    }
+
+    /// Whether the static pruning pre-filter is active (default: yes).
+    pub fn prune_enabled(&self) -> bool {
+        self.prune
+    }
+
+    /// The static dependence analysis of the instrumented program,
+    /// computed on first use and cached (shared across clones).
+    pub fn static_analysis(&self) -> Arc<sdep::StaticAnalysis> {
+        Arc::clone(
+            self.sdep_cache
+                .get_or_init(|| Arc::new(sdep::StaticAnalysis::analyze(&self.program))),
+        )
     }
 
     /// The static instrumentation report (paper Table 1 columns).

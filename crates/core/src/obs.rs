@@ -30,6 +30,10 @@ pub const DEFAULT_COUNTERS: &[&str] = &[
     "dualex.decoupled",
     "dualex.syscall_diffs",
     "dualex.master_sinks",
+    "sdep.nodes",
+    "sdep.edges",
+    "sdep.sites",
+    "sdep.pruned_pairs",
 ];
 
 /// Parsed observability flags.

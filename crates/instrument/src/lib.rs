@@ -51,4 +51,4 @@ pub use analysis::{CounterAnalysis, FuncCounters};
 pub use fingerprint::source_fingerprint;
 pub use pass::{instrument, InstrumentedProgram};
 pub use report::{FuncReport, InstrumentationReport};
-pub use verify::{check_counter_consistency, ConsistencyError};
+pub use verify::{check_counter_consistency, check_counter_consistency_all, ConsistencyError};

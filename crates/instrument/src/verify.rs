@@ -42,13 +42,26 @@ impl Error for ConsistencyError {}
 ///
 /// # Errors
 ///
-/// Returns the first [`ConsistencyError`] found, if any.
+/// Returns the first [`ConsistencyError`] found, if any. Use
+/// [`check_counter_consistency_all`] to collect every violation instead.
 pub fn check_counter_consistency(ip: &InstrumentedProgram) -> Result<(), ConsistencyError> {
-    let program = ip.program();
-    for (fid, _) in program.iter_funcs() {
-        check_function(program, ip, fid)?;
+    match check_counter_consistency_all(ip).into_iter().next() {
+        Some(e) => Err(e),
+        None => Ok(()),
     }
-    Ok(())
+}
+
+/// Checks every function and returns **all** violations found, in function
+/// order — an empty vector means the program is consistent. Diagnosing a
+/// broken instrumentation pass usually needs the full list: the first
+/// inconsistent edge is rarely the only one.
+pub fn check_counter_consistency_all(ip: &InstrumentedProgram) -> Vec<ConsistencyError> {
+    let program = ip.program();
+    let mut violations = Vec::new();
+    for (fid, _) in program.iter_funcs() {
+        check_function(program, ip, fid, &mut violations);
+    }
+    violations
 }
 
 fn block_delta(program: &IrProgram, ip: &InstrumentedProgram, fid: FuncId, b: usize) -> i128 {
@@ -80,7 +93,8 @@ fn check_function(
     program: &IrProgram,
     ip: &InstrumentedProgram,
     fid: FuncId,
-) -> Result<(), ConsistencyError> {
+    violations: &mut Vec<ConsistencyError>,
+) {
     let func = program.func(fid);
     let err = |detail: String| ConsistencyError {
         function: func.name.clone(),
@@ -96,12 +110,12 @@ fn check_function(
         let input = in_val[b.index()].expect("queued blocks have values");
         let out = input + block_delta(program, ip, fid, b.index());
         if out < 0 {
-            return Err(err(format!("counter goes negative ({out}) in block {b}")));
+            violations.push(err(format!("counter goes negative ({out}) in block {b}")));
         }
         match &func.block(b).term {
             Terminator::Return(_) => {
                 if out != ip.fcnt(fid) as i128 {
-                    return Err(err(format!(
+                    violations.push(err(format!(
                         "return in block {b} ends at {out}, expected FCNT {}",
                         ip.fcnt(fid)
                     )));
@@ -115,7 +129,10 @@ fn check_function(
                             queue.push_back(s);
                         }
                         Some(existing) if existing != out => {
-                            return Err(err(format!(
+                            // Record the clash but keep the first-seen
+                            // value, so downstream blocks are still
+                            // checked against one consistent assignment.
+                            violations.push(err(format!(
                                 "block {s} reached with counter {out} via {b} \
                                  but {existing} via another path"
                             )));
@@ -126,7 +143,6 @@ fn check_function(
             }
         }
     }
-    Ok(())
 }
 
 #[cfg(test)]
@@ -268,6 +284,45 @@ mod tests {
         let errv = check_counter_consistency(&sabotaged).unwrap_err();
         assert!(errv.detail.contains("via"), "got: {errv}");
         let _ = &mut ip;
+    }
+
+    #[test]
+    fn collects_every_violation_across_functions() {
+        // Sabotage one branch arm in each of two functions: the collecting
+        // checker reports both, the first-error wrapper reports the first.
+        let src = r#"
+            fn helper(x) {
+                if (x > 0) { write(1, "p"); } else { write(1, "n"); }
+                return 0;
+            }
+            fn main() {
+                if (getpid() > 0) { write(1, "a"); } else { write(1, "b"); }
+                helper(2);
+            }
+        "#;
+        let ip = instrument(&lower(&compile(src).unwrap()));
+        assert!(check_counter_consistency_all(&ip).is_empty());
+        let mut broken_prog = ip.program().clone();
+        for func in &mut broken_prog.functions {
+            let target = func
+                .block_ids()
+                .find_map(|b| match &func.block(b).term {
+                    Terminator::Branch { then_bb, .. } => Some(*then_bb),
+                    _ => None,
+                })
+                .unwrap();
+            func.blocks[target.index()]
+                .instrs
+                .push(Instr::CntAdd { delta: 7 });
+        }
+        let sabotaged = InstrumentedSabotage::rewrap(&ip, broken_prog);
+        let all = check_counter_consistency_all(&sabotaged);
+        assert!(all.len() >= 2, "one violation per function: {all:?}");
+        let functions: std::collections::BTreeSet<&str> =
+            all.iter().map(|e| e.function.as_str()).collect();
+        assert_eq!(functions.len(), 2, "both functions reported: {all:?}");
+        let first = check_counter_consistency(&sabotaged).unwrap_err();
+        assert_eq!(first, all[0], "the wrapper returns the first violation");
     }
 
     /// Test helper: rebuilds an `InstrumentedProgram` with a replaced

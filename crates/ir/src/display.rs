@@ -37,6 +37,108 @@ pub fn func_to_string(func: &FuncBody) -> String {
     out
 }
 
+/// Renders one function's CFG as a Graphviz digraph: one record-shaped
+/// node per basic block (instructions as label lines), one edge per
+/// control transfer, branch edges labeled `T`/`F`.
+pub fn func_to_dot(func: &FuncBody) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {} {{", dot_id(&func.name));
+    let _ = writeln!(out, "  node [shape=box, fontname=\"monospace\"];");
+    for b in func.block_ids() {
+        let block = func.block(b);
+        let mut label = format!("{b}:");
+        if b == func.entry {
+            label.push_str(" (entry)");
+        }
+        for i in &block.instrs {
+            label.push_str("\\l");
+            label.push_str(&dot_escape(&instr_str(i)));
+        }
+        label.push_str("\\l");
+        label.push_str(&dot_escape(&term_str(&block.term)));
+        label.push_str("\\l");
+        let _ = writeln!(out, "  {b} [label=\"{label}\"];");
+        match &block.term {
+            Terminator::Branch {
+                then_bb, else_bb, ..
+            } => {
+                let _ = writeln!(out, "  {b} -> {then_bb} [label=\"T\"];");
+                let _ = writeln!(out, "  {b} -> {else_bb} [label=\"F\"];");
+            }
+            term => {
+                for s in term.successors() {
+                    let _ = writeln!(out, "  {b} -> {s};");
+                }
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders every function's CFG as one Graphviz digraph with a cluster
+/// per function.
+pub fn program_to_dot(program: &IrProgram) -> String {
+    let mut out = String::from("digraph cfg {\n  node [shape=box, fontname=\"monospace\"];\n");
+    for (id, func) in program.iter_funcs() {
+        let _ = writeln!(out, "  subgraph cluster_{} {{", id.index());
+        let _ = writeln!(out, "    label=\"{}\";", dot_escape(&func.name));
+        // Prefix node names with the function id: block ids restart at
+        // b0 in every function.
+        let node = |b: crate::BlockId| format!("{id}_{b}");
+        for b in func.block_ids() {
+            let block = func.block(b);
+            let mut label = format!("{b}:");
+            if b == func.entry {
+                label.push_str(" (entry)");
+            }
+            for i in &block.instrs {
+                label.push_str("\\l");
+                label.push_str(&dot_escape(&instr_str(i)));
+            }
+            label.push_str("\\l");
+            label.push_str(&dot_escape(&term_str(&block.term)));
+            label.push_str("\\l");
+            let _ = writeln!(out, "    {} [label=\"{label}\"];", node(b));
+            match &block.term {
+                Terminator::Branch {
+                    then_bb, else_bb, ..
+                } => {
+                    let _ = writeln!(out, "    {} -> {} [label=\"T\"];", node(b), node(*then_bb));
+                    let _ = writeln!(out, "    {} -> {} [label=\"F\"];", node(b), node(*else_bb));
+                }
+                term => {
+                    for s in term.successors() {
+                        let _ = writeln!(out, "    {} -> {};", node(b), node(s));
+                    }
+                }
+            }
+        }
+        out.push_str("  }\n");
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Escapes text for use inside a double-quoted DOT label.
+fn dot_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// A DOT identifier for a function name: alphanumerics pass through,
+/// everything else becomes `_`.
+fn dot_id(name: &str) -> String {
+    let cleaned: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    if cleaned.chars().next().is_none_or(|c| c.is_ascii_digit()) {
+        format!("f_{cleaned}")
+    } else {
+        cleaned
+    }
+}
+
 fn const_str(c: &Const) -> String {
     match c {
         Const::Int(v) => v.to_string(),
@@ -170,5 +272,64 @@ mod tests {
         for needle in ["icall", "call f", "lib len", "= &f", "store g0["] {
             assert!(text.contains(needle), "missing {needle} in dump:\n{text}");
         }
+    }
+
+    #[test]
+    fn cfg_dot_has_blocks_and_labeled_branch_edges() {
+        let p = lower(
+            &compile(
+                r#"fn main() {
+                    let x = getpid();
+                    if (x > 0) { write(1, "a"); } else { write(1, "b"); }
+                    close(1);
+                }"#,
+            )
+            .unwrap(),
+        );
+        let dot = func_to_dot(p.func(p.main()));
+        assert!(dot.starts_with("digraph main {"));
+        assert!(dot.ends_with("}\n"));
+        assert!(dot.contains("(entry)"));
+        assert!(dot.contains("[label=\"T\"]"), "branch edges are labeled");
+        assert!(dot.contains("[label=\"F\"]"));
+        assert!(dot.contains("syscall write"));
+        // One node line per block.
+        let nodes = dot.lines().filter(|l| l.contains("[label=\"b")).count();
+        assert_eq!(nodes, p.func(p.main()).blocks.len());
+    }
+
+    #[test]
+    fn program_dot_clusters_every_function_with_unique_nodes() {
+        let p = lower(
+            &compile(
+                r#"
+                fn helper(x) { return x + 1; }
+                fn main() { let y = helper(2); }
+                "#,
+            )
+            .unwrap(),
+        );
+        let dot = program_to_dot(&p);
+        assert!(dot.starts_with("digraph cfg {"));
+        assert!(dot.contains("subgraph cluster_0"));
+        assert!(dot.contains("subgraph cluster_1"));
+        assert!(dot.contains("label=\"helper\""));
+        assert!(dot.contains("label=\"main\""));
+        // Node names are function-qualified, so the two entry blocks do
+        // not collide.
+        assert!(dot.contains("f0_b0"));
+        assert!(dot.contains("f1_b0"));
+    }
+
+    #[test]
+    fn dot_labels_escape_quotes() {
+        let p = lower(&compile(r#"fn main() { write(1, "say \"hi\""); }"#).unwrap());
+        let dot = func_to_dot(p.func(p.main()));
+        // The text dump renders the constant as `"say \"hi\""`; DOT
+        // escaping doubles every backslash and escapes the quotes.
+        assert!(
+            dot.contains(r#"\\\"hi\\\""#),
+            "quotes inside labels escaped:\n{dot}"
+        );
     }
 }

@@ -209,6 +209,63 @@ impl Instr {
         }
     }
 
+    /// The local this instruction (re)defines, if any, together with
+    /// whether the definition is *strong* (overwrites the whole slot) or
+    /// *weak* (an in-place element store: prior contents survive).
+    pub fn defined_local(&self) -> Option<(LocalId, bool)> {
+        match self {
+            Instr::Const { dst, .. }
+            | Instr::Copy { dst, .. }
+            | Instr::LoadGlobal { dst, .. }
+            | Instr::Unary { dst, .. }
+            | Instr::Binary { dst, .. }
+            | Instr::Index { dst, .. }
+            | Instr::MakeArray { dst, .. }
+            | Instr::FuncRef { dst, .. }
+            | Instr::Call { dst, .. }
+            | Instr::CallIndirect { dst, .. }
+            | Instr::CallLib { dst, .. }
+            | Instr::Syscall { dst, .. } => Some((*dst, true)),
+            Instr::StoreIndexLocal { local, .. } => Some((*local, false)),
+            Instr::StoreGlobal { .. }
+            | Instr::StoreIndexGlobal { .. }
+            | Instr::CntAdd { .. }
+            | Instr::LoopEnter { .. }
+            | Instr::LoopBackedge { .. }
+            | Instr::LoopExit { .. } => None,
+        }
+    }
+
+    /// Every local this instruction reads, in operand order (duplicates
+    /// possible). `StoreIndexLocal` reads the array it mutates: the
+    /// surviving elements make the result depend on the old value.
+    pub fn used_locals(&self) -> Vec<LocalId> {
+        match self {
+            Instr::Const { .. }
+            | Instr::LoadGlobal { .. }
+            | Instr::FuncRef { .. }
+            | Instr::CntAdd { .. }
+            | Instr::LoopEnter { .. }
+            | Instr::LoopBackedge { .. }
+            | Instr::LoopExit { .. } => vec![],
+            Instr::Copy { src, .. } | Instr::StoreGlobal { src, .. } => vec![*src],
+            Instr::StoreIndexGlobal { index, src, .. } => vec![*index, *src],
+            Instr::StoreIndexLocal { local, index, src } => vec![*local, *index, *src],
+            Instr::Unary { operand, .. } => vec![*operand],
+            Instr::Binary { lhs, rhs, .. } => vec![*lhs, *rhs],
+            Instr::Index { base, index, .. } => vec![*base, *index],
+            Instr::MakeArray { elems, .. } => elems.clone(),
+            Instr::Call { args, .. }
+            | Instr::CallLib { args, .. }
+            | Instr::Syscall { args, .. } => args.clone(),
+            Instr::CallIndirect { callee, args, .. } => {
+                let mut v = vec![*callee];
+                v.extend(args.iter().copied());
+                v
+            }
+        }
+    }
+
     /// Whether this is one of the instrumentation-emitted instructions.
     pub fn is_instrumentation(&self) -> bool {
         matches!(
@@ -240,6 +297,15 @@ pub enum Terminator {
 }
 
 impl Terminator {
+    /// The local this terminator reads (branch condition, return value).
+    pub fn used_local(&self) -> Option<LocalId> {
+        match self {
+            Terminator::Jump(_) | Terminator::Return(None) => None,
+            Terminator::Branch { cond, .. } => Some(*cond),
+            Terminator::Return(Some(v)) => Some(*v),
+        }
+    }
+
     /// Successor blocks, in branch order.
     pub fn successors(&self) -> Vec<BlockId> {
         match self {
@@ -337,6 +403,53 @@ mod tests {
             src: LocalId(1)
         }
         .is_instrumentation());
+    }
+
+    #[test]
+    fn def_use_classification() {
+        let weak = Instr::StoreIndexLocal {
+            local: LocalId(3),
+            index: LocalId(1),
+            src: LocalId(2),
+        };
+        assert_eq!(weak.defined_local(), Some((LocalId(3), false)));
+        assert_eq!(weak.used_locals(), vec![LocalId(3), LocalId(1), LocalId(2)]);
+        let strong = Instr::Binary {
+            dst: LocalId(0),
+            op: ldx_lang::BinaryOp::Add,
+            lhs: LocalId(1),
+            rhs: LocalId(2),
+        };
+        assert_eq!(strong.defined_local(), Some((LocalId(0), true)));
+        assert_eq!(strong.used_locals(), vec![LocalId(1), LocalId(2)]);
+        assert_eq!(Instr::CntAdd { delta: 1 }.defined_local(), None);
+        assert!(Instr::CntAdd { delta: 1 }.used_locals().is_empty());
+        let icall = Instr::CallIndirect {
+            dst: LocalId(0),
+            callee: LocalId(4),
+            args: vec![LocalId(5)],
+            site: SiteId(0),
+        };
+        assert_eq!(icall.used_locals(), vec![LocalId(4), LocalId(5)]);
+    }
+
+    #[test]
+    fn terminator_uses() {
+        assert_eq!(Terminator::Jump(BlockId(0)).used_local(), None);
+        assert_eq!(
+            Terminator::Branch {
+                cond: LocalId(7),
+                then_bb: BlockId(0),
+                else_bb: BlockId(1),
+            }
+            .used_local(),
+            Some(LocalId(7))
+        );
+        assert_eq!(
+            Terminator::Return(Some(LocalId(2))).used_local(),
+            Some(LocalId(2))
+        );
+        assert_eq!(Terminator::Return(None).used_local(), None);
     }
 
     #[test]

@@ -77,6 +77,8 @@ pub mod cat {
     pub const BARRIER_WAIT: &str = "barrier-wait";
     /// Batch-engine job execution.
     pub const BATCH: &str = "batch";
+    /// Static dependence analysis (PDG construction, reachability).
+    pub const SDEP: &str = "sdep";
 }
 
 static METRICS_ON: AtomicBool = AtomicBool::new(false);

@@ -1,0 +1,137 @@
+//! Control dependence, derived from the existing post-dominator tree.
+//!
+//! Ferrante–Ottenstein–Warren: block `B` is control-dependent on block `A`
+//! when `A` has a CFG edge to some `S` such that `B` post-dominates `S`
+//! but `B` does not strictly post-dominate `A`. Operationally: for every
+//! CFG edge `(A, S)` where `S` is not `ipdom(A)`, walk `S` up the
+//! post-dominator tree until reaching `ipdom(A)`; every block visited on
+//! the way is control-dependent on `A`.
+
+use ldx_ir::dom::PostDominators;
+use ldx_ir::{BlockId, FuncBody};
+
+/// Control-dependence relation for one function.
+#[derive(Debug, Clone)]
+pub struct ControlDeps {
+    /// `deps[b]` = blocks whose terminator decides whether `b` executes.
+    deps: Vec<Vec<BlockId>>,
+}
+
+impl ControlDeps {
+    /// Computes control dependence for `func` from its post-dominator tree.
+    pub fn compute(func: &FuncBody) -> Self {
+        let pdom = PostDominators::compute(func);
+        let n = func.blocks.len();
+        let mut deps: Vec<Vec<BlockId>> = vec![Vec::new(); n];
+        for a in func.block_ids() {
+            let stop = pdom.ipdom(a);
+            for s in func.block(a).term.successors() {
+                // Walk s up the post-dominator tree to ipdom(a). A `None`
+                // ipdom means the virtual exit, which also terminates the
+                // walk (when stop is itself None, everything up to the
+                // virtual exit is control-dependent on `a`).
+                let mut cur = Some(s);
+                let mut fuel = n + 1;
+                while let Some(b) = cur {
+                    if Some(b) == stop {
+                        break;
+                    }
+                    if !deps[b.index()].contains(&a) {
+                        deps[b.index()].push(a);
+                    }
+                    cur = pdom.ipdom(b);
+                    fuel -= 1;
+                    if fuel == 0 {
+                        break; // defensive: pdom trees are acyclic, but don't hang on a bug
+                    }
+                }
+            }
+        }
+        for d in &mut deps {
+            d.sort_unstable();
+        }
+        ControlDeps { deps }
+    }
+
+    /// The blocks whose branch decides whether `b` executes.
+    pub fn controllers(&self, b: BlockId) -> &[BlockId] {
+        &self.deps[b.index()]
+    }
+
+    /// Iterates `(dependent block, controlling blocks)` pairs with at
+    /// least one controller.
+    pub fn iter(&self) -> impl Iterator<Item = (BlockId, &[BlockId])> {
+        self.deps
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| !d.is_empty())
+            .map(|(i, d)| (BlockId(i as u32), d.as_slice()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldx_ir::{lower, Terminator};
+    use ldx_lang::compile;
+
+    fn cd(src: &str) -> (FuncBody, ControlDeps) {
+        let p = lower(&compile(src).unwrap());
+        let f = p.func(p.main()).clone();
+        let c = ControlDeps::compute(&f);
+        (f, c)
+    }
+
+    #[test]
+    fn straight_line_has_no_control_deps() {
+        let (f, c) = cd("fn main() { let x = 1; let y = x + 1; }");
+        for b in f.block_ids() {
+            assert!(c.controllers(b).is_empty(), "{b} unexpectedly controlled");
+        }
+    }
+
+    #[test]
+    fn if_arms_depend_on_the_branch() {
+        let (f, c) =
+            cd("fn main() { let x = 1; if (x) { let a = 2; } else { let b = 3; } let z = 4; }");
+        let branch_block = f
+            .block_ids()
+            .find(|&b| matches!(f.block(b).term, Terminator::Branch { .. }))
+            .expect("branch");
+        let controlled: Vec<BlockId> = f
+            .block_ids()
+            .filter(|&b| c.controllers(b).contains(&branch_block))
+            .collect();
+        assert_eq!(controlled.len(), 2, "exactly the two arms: {controlled:?}");
+        // The join block is not control-dependent on the branch.
+        for b in &controlled {
+            assert_ne!(
+                f.block(*b).term.successors().len(),
+                0,
+                "arm blocks jump to the join"
+            );
+        }
+    }
+
+    #[test]
+    fn loop_body_and_header_depend_on_loop_branch() {
+        let (f, c) = cd("fn main() { let i = 0; while (i < 3) { i = i + 1; } }");
+        let branch_block = f
+            .block_ids()
+            .find(|&b| matches!(f.block(b).term, Terminator::Branch { .. }))
+            .expect("loop branch");
+        // The branch controls the body, and (being a loop) itself.
+        assert!(
+            c.controllers(branch_block).contains(&branch_block),
+            "loop header is control-dependent on its own branch"
+        );
+        let controlled = f
+            .block_ids()
+            .filter(|&b| c.controllers(b).contains(&branch_block))
+            .count();
+        assert!(
+            controlled >= 2,
+            "branch controls body + header: {controlled}"
+        );
+    }
+}

@@ -1,0 +1,330 @@
+//! Flow-sensitive intraprocedural reaching definitions and def-use chains.
+//!
+//! The classic bit-vector dataflow: every definition point of a local
+//! (parameter entry or instruction) gets a dense [`DefId`]; per-block
+//! gen/kill sets are iterated to a fixpoint over the CFG; the in-sets are
+//! then replayed through each block to answer "which definitions of local
+//! `l` reach this use?". Element stores (`StoreIndexLocal`) are *weak*
+//! definitions — they generate but do not kill, because the untouched
+//! elements of the array survive the store.
+
+use ldx_ir::{BlockId, FuncBody, LocalId};
+use std::collections::BTreeMap;
+
+/// A dense definition-point id within one function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DefId(pub u32);
+
+/// Where a definition happens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DefSite {
+    /// The local is a parameter, defined at function entry.
+    Param(LocalId),
+    /// Defined by `func.blocks[block].instrs[idx]`.
+    Instr(BlockId, usize),
+}
+
+/// One definition point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Def {
+    /// Where.
+    pub site: DefSite,
+    /// Which local it defines.
+    pub local: LocalId,
+    /// Whether it overwrites the whole slot (kills prior defs).
+    pub strong: bool,
+}
+
+/// A use position inside a function: instruction index, or the block
+/// terminator (`idx == usize::MAX`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct UsePos {
+    /// The block.
+    pub block: BlockId,
+    /// Instruction index, or [`TERM_IDX`] for the terminator.
+    pub idx: usize,
+}
+
+/// The pseudo instruction index of a block terminator in a [`UsePos`].
+pub const TERM_IDX: usize = usize::MAX;
+
+/// Reaching definitions for one function.
+#[derive(Debug, Clone)]
+pub struct ReachingDefs {
+    /// All definition points, indexed by [`DefId`].
+    pub defs: Vec<Def>,
+    /// For every (use position, local) pair actually used by the function:
+    /// the definitions that reach it.
+    use_defs: BTreeMap<(UsePos, LocalId), Vec<DefId>>,
+}
+
+/// A fixed-width bitset over definition ids.
+#[derive(Clone, PartialEq, Eq)]
+struct BitSet(Vec<u64>);
+
+impl BitSet {
+    fn new(n: usize) -> Self {
+        BitSet(vec![0; n.div_ceil(64)])
+    }
+    fn set(&mut self, i: u32) {
+        self.0[i as usize / 64] |= 1 << (i % 64);
+    }
+    fn clear(&mut self, i: u32) {
+        self.0[i as usize / 64] &= !(1 << (i % 64));
+    }
+    fn get(&self, i: u32) -> bool {
+        self.0[i as usize / 64] & (1 << (i % 64)) != 0
+    }
+    /// `self |= other`; reports whether anything changed.
+    fn union(&mut self, other: &BitSet) -> bool {
+        let mut changed = false;
+        for (a, b) in self.0.iter_mut().zip(&other.0) {
+            let next = *a | b;
+            changed |= next != *a;
+            *a = next;
+        }
+        changed
+    }
+}
+
+impl ReachingDefs {
+    /// Computes reaching definitions and def-use chains for `func`.
+    pub fn compute(func: &FuncBody) -> Self {
+        // 1. Enumerate definition points.
+        let mut defs: Vec<Def> = (0..func.param_count)
+            .map(|p| Def {
+                site: DefSite::Param(LocalId(p as u32)),
+                local: LocalId(p as u32),
+                strong: true,
+            })
+            .collect();
+        for b in func.block_ids() {
+            for (idx, instr) in func.block(b).instrs.iter().enumerate() {
+                if let Some((local, strong)) = instr.defined_local() {
+                    defs.push(Def {
+                        site: DefSite::Instr(b, idx),
+                        local,
+                        strong,
+                    });
+                }
+            }
+        }
+        let n_defs = defs.len();
+        let mut defs_of_local: Vec<Vec<u32>> = vec![Vec::new(); func.local_count];
+        let mut def_at: BTreeMap<(BlockId, usize), u32> = BTreeMap::new();
+        for (i, d) in defs.iter().enumerate() {
+            defs_of_local[d.local.index()].push(i as u32);
+            if let DefSite::Instr(b, idx) = d.site {
+                def_at.insert((b, idx), i as u32);
+            }
+        }
+
+        // 2. Per-block transfer: replay the block over a def set.
+        let n = func.blocks.len();
+        let transfer = |state: &mut BitSet, b: BlockId| {
+            for (idx, instr) in func.block(b).instrs.iter().enumerate() {
+                if let Some((local, strong)) = instr.defined_local() {
+                    let id = def_at[&(b, idx)];
+                    if strong {
+                        for &other in &defs_of_local[local.index()] {
+                            state.clear(other);
+                        }
+                    }
+                    state.set(id);
+                }
+            }
+        };
+
+        // 3. Fixpoint over the CFG (forward, may).
+        let mut in_sets: Vec<BitSet> = vec![BitSet::new(n_defs); n];
+        let entry_in = {
+            let mut s = BitSet::new(n_defs);
+            for p in 0..func.param_count {
+                s.set(p as u32);
+            }
+            s
+        };
+        in_sets[func.entry.index()] = entry_in;
+        let mut worklist: Vec<BlockId> = func.block_ids().collect();
+        while let Some(b) = worklist.pop() {
+            let mut out = in_sets[b.index()].clone();
+            transfer(&mut out, b);
+            for s in func.block(b).term.successors() {
+                if in_sets[s.index()].union(&out) && !worklist.contains(&s) {
+                    worklist.push(s);
+                }
+            }
+        }
+
+        // 4. Replay each block once more, recording the reaching defs at
+        //    every use.
+        let mut use_defs: BTreeMap<(UsePos, LocalId), Vec<DefId>> = BTreeMap::new();
+        for b in func.block_ids() {
+            let mut state = in_sets[b.index()].clone();
+            let mut record = |state: &BitSet, pos: UsePos, local: LocalId| {
+                let reaching: Vec<DefId> = defs_of_local
+                    .get(local.index())
+                    .map(|ids| {
+                        ids.iter()
+                            .filter(|&&i| state.get(i))
+                            .map(|&i| DefId(i))
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                use_defs.insert((pos, local), reaching);
+            };
+            for (idx, instr) in func.block(b).instrs.iter().enumerate() {
+                for local in instr.used_locals() {
+                    record(&state, UsePos { block: b, idx }, local);
+                }
+                if let Some((local, strong)) = instr.defined_local() {
+                    let id = def_at[&(b, idx)];
+                    if strong {
+                        for &other in &defs_of_local[local.index()] {
+                            state.clear(other);
+                        }
+                    }
+                    state.set(id);
+                }
+            }
+            if let Some(local) = func.block(b).term.used_local() {
+                record(
+                    &state,
+                    UsePos {
+                        block: b,
+                        idx: TERM_IDX,
+                    },
+                    local,
+                );
+            }
+        }
+
+        ReachingDefs { defs, use_defs }
+    }
+
+    /// The definitions of `local` reaching the given use position.
+    pub fn reaching(&self, pos: UsePos, local: LocalId) -> &[DefId] {
+        self.use_defs
+            .get(&(pos, local))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// The definition record for `id`.
+    pub fn def(&self, id: DefId) -> &Def {
+        &self.defs[id.0 as usize]
+    }
+
+    /// Iterates over every recorded `(use position, local, reaching defs)`.
+    pub fn iter_uses(&self) -> impl Iterator<Item = (UsePos, LocalId, &[DefId])> {
+        self.use_defs
+            .iter()
+            .map(|((pos, local), defs)| (*pos, *local, defs.as_slice()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldx_ir::lower;
+    use ldx_lang::compile;
+
+    fn rd(src: &str, name: &str) -> (FuncBody, ReachingDefs) {
+        let p = lower(&compile(src).unwrap());
+        let f = p.func(p.func_id(name).unwrap()).clone();
+        let r = ReachingDefs::compute(&f);
+        (f, r)
+    }
+
+    #[test]
+    fn params_reach_first_use() {
+        let (f, r) = rd("fn f(a) { return a; } fn main() { f(1); }", "f");
+        let pos = f
+            .block_ids()
+            .find_map(|b| {
+                f.block(b).term.used_local().map(|_| UsePos {
+                    block: b,
+                    idx: TERM_IDX,
+                })
+            })
+            .expect("return with value");
+        let defs = r.reaching(pos, LocalId(0));
+        assert_eq!(defs.len(), 1);
+        assert!(matches!(r.def(defs[0]).site, DefSite::Param(_)));
+    }
+
+    #[test]
+    fn branch_join_merges_both_definitions() {
+        let (f, r) = rd(
+            "fn main() { let x = 1; if (x) { x = 2; } else { x = 3; } let y = x; }",
+            "main",
+        );
+        // Find the use of x feeding `y = x` (a Copy after the join): the
+        // copy's source must see exactly the two arm definitions.
+        let mut best: Option<usize> = None;
+        for (pos, _local, defs) in r.iter_uses() {
+            if pos.idx != TERM_IDX
+                && matches!(
+                    f.block(pos.block).instrs[pos.idx],
+                    ldx_ir::Instr::Copy { .. }
+                )
+            {
+                best = Some(defs.len().max(best.unwrap_or(0)));
+            }
+        }
+        assert_eq!(best, Some(2), "join must merge the two arm defs");
+    }
+
+    #[test]
+    fn weak_array_store_does_not_kill() {
+        let (f, r) = rd("fn main() { let a = [1, 2]; a[0] = 9; let b = a; }", "main");
+        // The use of `a` after the element store must see both the
+        // MakeArray def and the weak StoreIndexLocal def.
+        let mut seen = Vec::new();
+        for (pos, _local, defs) in r.iter_uses() {
+            if pos.idx != TERM_IDX
+                && matches!(
+                    f.block(pos.block).instrs[pos.idx],
+                    ldx_ir::Instr::Copy { .. }
+                )
+            {
+                seen.push(defs.len());
+            }
+        }
+        assert!(seen.contains(&2), "weak store must not kill: {seen:?}");
+    }
+
+    #[test]
+    fn loop_carried_definitions_reach_header_uses() {
+        let (f, r) = rd(
+            "fn main() { let i = 0; while (i < 3) { i = i + 1; } }",
+            "main",
+        );
+        // The loop condition use of i sees both the init and the increment.
+        let mut cond_defs = 0;
+        for (pos, _local, defs) in r.iter_uses() {
+            if pos.idx != TERM_IDX {
+                continue;
+            }
+            if matches!(f.block(pos.block).term, ldx_ir::Terminator::Branch { .. }) {
+                cond_defs = cond_defs.max(defs.len());
+            }
+        }
+        // The branch condition is a temporary (i < 3), so look at the
+        // comparison's operand uses instead.
+        let mut i_defs = 0;
+        for (pos, _local, defs) in r.iter_uses() {
+            if pos.idx == TERM_IDX {
+                continue;
+            }
+            if matches!(
+                f.block(pos.block).instrs[pos.idx],
+                ldx_ir::Instr::Binary { .. }
+            ) {
+                i_defs = i_defs.max(defs.len());
+            }
+        }
+        assert!(i_defs >= 2, "loop-carried def must reach the condition");
+        let _ = cond_defs;
+    }
+}

@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Validate `ldx analyze` output against schemas/sdep_schema.json.
+
+Usage:
+    check_sdep_output.py --json sdep.json [--dot sdep.dot]
+
+Stdlib-only: reuses the JSON-Schema subset of check_obs_output.py (type,
+required, properties, additionalProperties-as-schema, items, enum,
+minimum, minItems, $ref into #/definitions). On top of the schema, it
+asserts cross-references the schema cannot express: the site and
+reachability tables cover the same (func, site) keys, every sink refers
+to a listed syscall site, and at least one site reaches another. The
+optional --dot check is structural: a non-empty digraph with edges.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+SCHEMA_PATH = Path(__file__).resolve().parent.parent / "schemas" / "sdep_schema.json"
+
+TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "boolean": bool,
+    "number": (int, float),
+}
+
+
+class Invalid(Exception):
+    pass
+
+
+def fail(path, message):
+    raise Invalid(f"{path or '$'}: {message}")
+
+
+def validate(value, schema, defs, path=""):
+    if "$ref" in schema:
+        name = schema["$ref"].rsplit("/", 1)[-1]
+        validate(value, defs[name], defs, path)
+        return
+    if "enum" in schema:
+        if value not in schema["enum"]:
+            fail(path, f"{value!r} not in {schema['enum']}")
+        return
+    typ = schema.get("type")
+    if typ == "integer":
+        if not isinstance(value, int) or isinstance(value, bool):
+            fail(path, f"expected integer, got {type(value).__name__}")
+    elif typ is not None:
+        expected = TYPES[typ]
+        if not isinstance(value, expected) or (
+            typ == "number" and isinstance(value, bool)
+        ):
+            fail(path, f"expected {typ}, got {type(value).__name__}")
+    if "minimum" in schema and value < schema["minimum"]:
+        fail(path, f"{value} < minimum {schema['minimum']}")
+    if isinstance(value, dict):
+        for key in schema.get("required", ()):
+            if key not in value:
+                fail(path, f"missing required key {key!r}")
+        props = schema.get("properties", {})
+        extra = schema.get("additionalProperties")
+        for key, item in value.items():
+            if key in props:
+                validate(item, props[key], defs, f"{path}.{key}")
+            elif isinstance(extra, dict):
+                validate(item, extra, defs, f"{path}.{key}")
+    if isinstance(value, list):
+        if "minItems" in schema and len(value) < schema["minItems"]:
+            fail(path, f"{len(value)} items < minItems {schema['minItems']}")
+        item_schema = schema.get("items")
+        if isinstance(item_schema, dict):
+            for i, item in enumerate(value):
+                validate(item, item_schema, defs, f"{path}[{i}]")
+
+
+def check_analysis(doc, defs):
+    validate(doc, defs["analysis"], defs, "analysis")
+    site_keys = {(s["func"], s["site"]) for s in doc["sites"]}
+    if len(site_keys) != len(doc["sites"]):
+        fail("sites", "duplicate (func, site) entries")
+    reach_keys = {(r["func"], r["site"]) for r in doc["reachability"]}
+    if site_keys != reach_keys:
+        fail(
+            "reachability",
+            f"site/reachability key mismatch: "
+            f"only-in-sites={sorted(site_keys - reach_keys)} "
+            f"only-in-reachability={sorted(reach_keys - site_keys)}",
+        )
+    for i, r in enumerate(doc["reachability"]):
+        for sink in r["sinks"]:
+            key = (sink["func"], sink["site"])
+            if key not in site_keys:
+                fail(f"reachability[{i}]", f"sink {key} is not a listed site")
+    if not any(len(r["sinks"]) > 1 for r in doc["reachability"]):
+        fail("reachability", "no site reaches any other site — empty analysis?")
+    print(
+        f"analysis ok: {doc['program']!r}, {doc['functions']} functions, "
+        f"{doc['nodes']} nodes, {doc['edges']} edges, "
+        f"{len(doc['sites'])} syscall sites"
+    )
+
+
+def check_dot(text):
+    if not text.startswith("digraph"):
+        fail("dot", "does not start with 'digraph'")
+    if not text.rstrip().endswith("}"):
+        fail("dot", "does not end with '}'")
+    edges = sum("->" in line for line in text.splitlines())
+    if edges == 0:
+        fail("dot", "no edges")
+    print(f"dot ok: {edges} edge lines")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--json", type=Path, help="ldx analyze JSON output")
+    parser.add_argument("--dot", type=Path, help="ldx analyze DOT output")
+    args = parser.parse_args()
+    if not args.json and not args.dot:
+        parser.error("nothing to check: pass --json and/or --dot")
+
+    defs = json.loads(SCHEMA_PATH.read_text())["definitions"]
+    try:
+        if args.json:
+            check_analysis(json.loads(args.json.read_text()), defs)
+        if args.dot:
+            check_dot(args.dot.read_text())
+    except Invalid as err:
+        print(f"FAIL {err}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

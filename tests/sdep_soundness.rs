@@ -1,0 +1,155 @@
+//! Soundness of the static dependence analysis (`ldx-sdep`) against the
+//! dynamic engine, over generated programs and the workload corpus.
+//!
+//! Two properties:
+//!
+//! * **Pruning is invisible.** `attribute_sources` with the static
+//!   pre-filter on must produce byte-identical verdicts (causal flag and
+//!   causality records) to a full run with `--no-prune` — a pruned pair is
+//!   a pair the dual execution would have found inert anyway.
+//! * **The oracle holds.** Every causality record dual execution reports
+//!   sits inside the static reachability map (`check_report`). The static
+//!   analysis over-approximates; a record outside the map is a bug in
+//!   either the engine or the analysis.
+
+use ldx::sdep::StaticAnalysis;
+use ldx::{Analysis, SinkSpec, SourceAttribution, SourceSpec};
+use ldx_dualex::{dual_execute, DualSpec, Mutation, SourceMatcher};
+use ldx_runtime::ExecConfig;
+use ldx_vos::VosConfig;
+use ldx_workloads::{corpus, random_program_source, GeneratorConfig};
+use proptest::prelude::*;
+
+fn world(value: &str) -> VosConfig {
+    VosConfig::new()
+        .file("/gen/input", value.to_string())
+        .dir("/gen")
+}
+
+/// An analysis over a generated program with the real source plus two
+/// decoys pruning can prove inert: a file nothing reads and the
+/// write-only output file.
+fn generated_analysis(seed: u64, input: i64) -> Analysis {
+    let src = random_program_source(seed, &GeneratorConfig::default());
+    Analysis::for_source(&src)
+        .expect("generated programs compile")
+        .world(world(&input.to_string()).file("/gen/absent", "decoy"))
+        .source(SourceSpec::file("/gen/input"))
+        .source(SourceSpec::file("/gen/absent"))
+        .source(SourceSpec::file("/gen/out"))
+        .sinks(SinkSpec::FileOut)
+        .exec_config(ExecConfig {
+            max_steps: 5_000_000,
+            ..ExecConfig::default()
+        })
+}
+
+/// The observable bytes of an attribution: everything except the
+/// placeholder report internals of pruned entries.
+fn verdict_bytes(attrs: &[SourceAttribution]) -> String {
+    attrs
+        .iter()
+        .map(|a| {
+            format!(
+                "#{} {:?} causal={} records={:?}\n",
+                a.index, a.source.matcher, a.causal, a.report.causality
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 16,
+        .. ProptestConfig::default()
+    })]
+
+    /// Pruned and unpruned attribution agree byte-for-byte on verdicts,
+    /// and the decoy sources actually exercise the pruner.
+    #[test]
+    fn pruned_attribution_is_byte_identical(seed in 0u64..2000, input in 0i64..1000) {
+        let pruned = generated_analysis(seed, input).attribute_sources();
+        let full = generated_analysis(seed, input).no_prune().attribute_sources();
+        prop_assert!(full.iter().all(|a| !a.pruned));
+        prop_assert!(
+            pruned.iter().any(|a| a.pruned),
+            "seed {seed}: the decoy sources must be statically pruned"
+        );
+        prop_assert_eq!(verdict_bytes(&pruned), verdict_bytes(&full), "seed {}", seed);
+    }
+
+    /// Every dynamically reported causal pair is inside the static map.
+    #[test]
+    fn dynamic_records_are_inside_the_static_map(seed in 0u64..2000, input in 0i64..1000) {
+        let src = random_program_source(seed, &GeneratorConfig::default());
+        let program = std::sync::Arc::new(
+            ldx_instrument::instrument(&ldx_ir::lower(&ldx_lang::compile(&src).unwrap()))
+                .into_program(),
+        );
+        let sdep = StaticAnalysis::analyze(&program);
+        let spec = DualSpec {
+            sources: vec![SourceSpec {
+                matcher: SourceMatcher::FileRead("/gen/input".into()),
+                mutation: Mutation::OffByOne,
+            }],
+            sinks: SinkSpec::FileOut,
+            trace: false,
+            enforcement: false,
+            exec: ExecConfig {
+                max_steps: 5_000_000,
+                ..ExecConfig::default()
+            },
+        };
+        let report = dual_execute(std::sync::Arc::clone(&program), &world(&input.to_string()), &spec);
+        prop_assert!(
+            sdep.check_report(&spec.sources, &report).is_ok(),
+            "seed {seed}: {:?}",
+            sdep.check_report(&spec.sources, &report).unwrap_err()
+        );
+    }
+}
+
+/// The oracle holds across the whole 28-program corpus, for both the
+/// leaking and the benign experiment of every workload (this is the
+/// CI soundness-oracle step).
+#[test]
+fn oracle_holds_over_the_workload_corpus() {
+    for w in corpus() {
+        let program = w.program();
+        let sdep = StaticAnalysis::analyze(&program);
+        let mut specs = vec![w.dual_spec()];
+        specs.extend(w.benign_spec());
+        for spec in specs {
+            let report = dual_execute(std::sync::Arc::clone(&program), &w.world, &spec);
+            assert!(
+                sdep.check_report(&spec.sources, &report).is_ok(),
+                "workload `{}`: {}",
+                w.name,
+                sdep.check_report(&spec.sources, &report).unwrap_err()
+            );
+        }
+    }
+}
+
+/// The pruner never suppresses a true causality: for every workload that
+/// expects a leak, `may_cause` keeps each declared source alive. (The
+/// converse — pruned pairs really are inert — is the byte-identical
+/// property above.)
+#[test]
+fn pruner_keeps_every_expected_leak_alive() {
+    for w in corpus() {
+        if !w.expect_leak {
+            continue;
+        }
+        let program = w.program();
+        let sdep = StaticAnalysis::analyze(&program);
+        for s in &w.sources {
+            assert!(
+                sdep.may_cause(s, &w.sinks),
+                "workload `{}`: pruning would skip declared source {:?}",
+                w.name,
+                s.matcher
+            );
+        }
+    }
+}
