@@ -29,13 +29,13 @@
 //! and on the auto-sized work-stealing pool — and writes the measured
 //! per-program wall times and the corpus speedup to `batch_metrics.json`.
 //!
-//! Run: `cargo run -p ldx-bench --release --bin figure6 [reps] [--trace t.json] [--metrics m.json]`
+//! Run: `cargo run -p ldx-bench --release --bin figure6 [reps] [--summary] [--trace t.json] [--metrics m.json]`
 
 use ldx::{BatchEngine, BatchJob, InstrumentCache};
 use ldx_baselines::ei_dual_execute;
 use ldx_bench::{
-    geomean, json_f64, json_str, mean, median_duration, perf_workloads, run_dual_timed,
-    run_native_timed,
+    finish_summary, geomean, json_f64, json_str, mean, median_duration, perf_workloads,
+    run_dual_timed, run_native_timed, BenchSummary,
 };
 use ldx_dualex::{DualSpec, Mutation, SourceSpec};
 use ldx_runtime::ExecConfig;
@@ -45,6 +45,7 @@ use std::time::Duration;
 fn main() {
     let (args, obs_args) = ldx::obs::parse_obs_args(std::env::args().skip(1).collect());
     ldx::obs::init(&obs_args);
+    let (args, mut summary) = BenchSummary::from_args("figure6", args);
     let reps: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(5);
     let cpus = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -63,6 +64,7 @@ fn main() {
     // Timing cells must not co-run (they would steal each other's cycles
     // and distort the medians), so the table uses the batch API on an
     // explicit one-worker pool.
+    let phase_start = std::time::Instant::now();
     let cells = BatchEngine::sequential().map_ordered(perf_workloads(), |(w, world)| {
         let plain = cache.uninstrumented(&w.source).expect("workload compiles");
         let instrumented = cache.program(&w.source).expect("workload compiles");
@@ -80,6 +82,7 @@ fn main() {
                 .collect(),
             sinks: w.sinks.clone(),
             trace: false,
+            record: false,
             enforcement: false,
             exec: ExecConfig::default(),
         };
@@ -117,6 +120,7 @@ fn main() {
 
         (w, world, native, same, mutated, libdft, taintgrind, ei)
     });
+    summary.phase("overhead-table", phase_start.elapsed());
 
     let mut same_ratios = Vec::new();
     let mut mutated_ratios = Vec::new();
@@ -180,8 +184,10 @@ fn main() {
             })
             .collect::<Vec<_>>()
     };
-    let sequential = BatchEngine::sequential().run(make_jobs());
-    let parallel = BatchEngine::auto().run(make_jobs());
+    let sequential = summary.timed("batch-sequential", || {
+        BatchEngine::sequential().run(make_jobs())
+    });
+    let parallel = summary.timed("batch-parallel", || BatchEngine::auto().run(make_jobs()));
     let speedup = sequential.wall.as_secs_f64() / parallel.wall.as_secs_f64().max(1e-9);
     println!(
         "\nbatch corpus run: 1 worker {:?} vs {} worker(s) {:?} -> {:.2}x speedup \
@@ -206,6 +212,7 @@ fn main() {
 
     let path = write_metrics(cpus, &sequential, &parallel, speedup);
     println!("machine-readable metrics: {path}");
+    finish_summary(&summary);
     if let Err(e) = ldx::obs::finish(&obs_args) {
         eprintln!("could not write observability output: {e}");
     }

@@ -223,6 +223,133 @@ pub fn json_f64(x: f64) -> String {
     }
 }
 
+/// A machine-readable run summary every bench binary can emit
+/// (`--summary [path]`, default `BENCH_<name>.json`): total wall-clock,
+/// per-phase nanoseconds, and the final metrics-counter snapshot.
+/// Validated by `scripts/check_bench_summary.py`, which also flags
+/// wall-clock regressions against `scripts/bench_baseline.json`.
+pub struct BenchSummary {
+    name: &'static str,
+    started: Instant,
+    phases: Vec<(String, Duration)>,
+    out: Option<String>,
+}
+
+impl BenchSummary {
+    /// Strips `--summary [path]` from `args` and builds the summary.
+    /// Without the flag, the summary is disabled and [`BenchSummary::finish`]
+    /// writes nothing; with a bare `--summary`, the output path defaults
+    /// to `BENCH_<name>.json` in the working directory.
+    pub fn from_args(name: &'static str, args: Vec<String>) -> (Vec<String>, BenchSummary) {
+        let mut rest = Vec::with_capacity(args.len());
+        let mut out = None;
+        let mut it = args.into_iter().peekable();
+        while let Some(arg) = it.next() {
+            if arg == "--summary" {
+                out = Some(match it.peek() {
+                    Some(next) if !next.starts_with("--") && next.ends_with(".json") => {
+                        it.next().expect("peeked")
+                    }
+                    _ => format!("BENCH_{name}.json"),
+                });
+            } else {
+                rest.push(arg);
+            }
+        }
+        (
+            rest,
+            BenchSummary {
+                name,
+                started: Instant::now(),
+                phases: Vec::new(),
+                out,
+            },
+        )
+    }
+
+    /// A summary that always writes to `path` (for tests).
+    pub fn to_path(name: &'static str, path: impl Into<String>) -> BenchSummary {
+        BenchSummary {
+            name,
+            started: Instant::now(),
+            phases: Vec::new(),
+            out: Some(path.into()),
+        }
+    }
+
+    /// Whether `--summary` was requested.
+    pub fn enabled(&self) -> bool {
+        self.out.is_some()
+    }
+
+    /// Records a completed phase's duration.
+    pub fn phase(&mut self, label: impl Into<String>, dur: Duration) {
+        self.phases.push((label.into(), dur));
+    }
+
+    /// Times `f` and records it as a phase.
+    pub fn timed<T>(&mut self, label: impl Into<String>, f: impl FnOnce() -> T) -> T {
+        let (dur, out) = time_it(f);
+        self.phase(label, dur);
+        out
+    }
+
+    /// The summary as JSON (`schemas/bench_summary_schema.json`).
+    pub fn to_json(&self) -> String {
+        let mut phases = String::new();
+        for (label, dur) in &self.phases {
+            if !phases.is_empty() {
+                phases.push(',');
+            }
+            phases.push_str(&format!(
+                "\n    {{\"name\": {}, \"ns\": {}}}",
+                json_str(label),
+                dur.as_nanos()
+            ));
+        }
+        let mut counters = String::new();
+        for c in &ldx::obs::metrics_snapshot().counters {
+            if !counters.is_empty() {
+                counters.push(',');
+            }
+            counters.push_str(&format!("\n    {}: {}", json_str(c.name), c.value));
+        }
+        format!(
+            "{{\n  \"schema\": \"ldx-bench-summary-v1\",\n  \"name\": {},\n  \
+             \"wall_ns\": {},\n  \"phases\": [{phases}\n  ],\n  \
+             \"counters\": {{{counters}\n  }}\n}}\n",
+            json_str(self.name),
+            self.started.elapsed().as_nanos()
+        )
+    }
+
+    /// Writes the summary when `--summary` was requested; returns the
+    /// path written, if any.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the output file cannot be written.
+    pub fn finish(&self) -> std::io::Result<Option<&str>> {
+        match &self.out {
+            Some(path) => {
+                std::fs::write(path, self.to_json())?;
+                Ok(Some(path))
+            }
+            None => Ok(None),
+        }
+    }
+}
+
+/// Writes the summary if requested and logs the outcome — the shared
+/// tail of every bench binary's `main`.
+pub fn finish_summary(summary: &BenchSummary) {
+    match summary.finish() {
+        Ok(Some(path)) => println!("bench summary: {path}"),
+        Ok(None) => {}
+        Err(e) => eprintln!("could not write bench summary: {e}"),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -259,6 +386,35 @@ mod tests {
     fn median_duration_is_stable() {
         let d = median_duration(3, || Duration::from_millis(1));
         assert_eq!(d, Duration::from_millis(1));
+    }
+
+    #[test]
+    fn summary_arg_parsing() {
+        let v = |args: &[&str]| args.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let (rest, s) = BenchSummary::from_args("t", v(&["5", "--summary", "out.json"]));
+        assert_eq!(rest, v(&["5"]));
+        assert!(s.enabled());
+        let (rest, s) = BenchSummary::from_args("t", v(&["--summary", "3"]));
+        assert_eq!(rest, v(&["3"]), "non-path operand stays an argument");
+        assert!(s.enabled());
+        let (_, s) = BenchSummary::from_args("t", v(&["5"]));
+        assert!(!s.enabled());
+        assert!(s.finish().expect("disabled writes nothing").is_none());
+    }
+
+    #[test]
+    fn summary_json_has_phases_and_counters() {
+        let (_, mut s) = BenchSummary::from_args("demo", vec!["--summary".to_string()]);
+        let out: u32 = s.timed("warm", || 7);
+        assert_eq!(out, 7);
+        s.phase("measure", Duration::from_nanos(1234));
+        let json = s.to_json();
+        assert!(json.contains("\"schema\": \"ldx-bench-summary-v1\""));
+        assert!(json.contains("\"name\": \"demo\""));
+        assert!(json.contains("\"wall_ns\": "));
+        assert!(json.contains("{\"name\": \"warm\", \"ns\": "));
+        assert!(json.contains("{\"name\": \"measure\", \"ns\": 1234}"));
+        assert!(json.contains("\"counters\": {"));
     }
 
     #[test]

@@ -2,8 +2,9 @@
 //!
 //! ```console
 //! $ ldx <program.lx> [experiment.ldx] [--attribute] [--strength] [--taint]
-//!       [--no-prune] [--trace <out.json>] [--metrics <out.json>]
+//!       [--explain] [--no-prune] [--trace <out.json>] [--metrics <out.json>]
 //! $ ldx analyze <program.lx> [--json <out.json>] [--dot <out.dot>]
+//! $ ldx explain <program.lx> [experiment.ldx] [--json <out.json>] [--no-prune]
 //! ```
 //!
 //! The experiment file describes the world (files, peers, clients) and the
@@ -17,6 +18,14 @@
 //! and emits the dependence graph and per-site reachability as JSON (the
 //! shape of `schemas/sdep_schema.json`; stdout by default, or `--json`)
 //! and Graphviz DOT (`--dot`). See `docs/ANALYSIS.md`.
+//!
+//! The `explain` subcommand runs the per-source attribution with the
+//! divergence flight recorder on and emits the causal provenance chains
+//! (mutated source → first decoupled/compared syscall → tainted
+//! resources → diverging sink, cross-referenced against the static PDG
+//! path) as deterministic JSON (`schemas/explain_schema.json`; stdout by
+//! default, or `--json`). `--explain` on the default path prints the
+//! terminal rendering after the run. See `docs/OBSERVABILITY.md`.
 //!
 //! `--trace` writes a Chrome `trace_event` JSON of the run (open in
 //! Perfetto); `--metrics` writes the flat metrics dump. See
@@ -89,44 +98,21 @@ fn run_analyze(args: &[String], obs_args: &obs::ObsArgs) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn main() -> ExitCode {
-    let (args, obs_args) = obs::parse_obs_args(std::env::args().skip(1).collect());
-    obs::init(&obs_args);
-    if args.first().map(String::as_str) == Some("analyze") {
-        return run_analyze(&args[1..], &obs_args);
-    }
-    let flags: Vec<&str> = args
-        .iter()
-        .filter(|a| a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
-    let files: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
-    let (program_path, experiment_path) = match files.as_slice() {
-        [program] => (*program, None),
-        [program, experiment] => (*program, Some(*experiment)),
-        _ => {
-            eprintln!(
-                "usage: ldx <program.lx> [experiment.ldx] [--attribute] [--strength] [--taint] \
-                 [--no-prune] [--trace <out.json>] [--metrics <out.json>]\n\
-                 \x20      ldx analyze <program.lx> [--json <out.json>] [--dot <out.dot>]"
-            );
-            return ExitCode::from(2);
-        }
-    };
-
+/// Compiles `program_path` and applies `experiment_path` (when given),
+/// printing a diagnostic and returning an exit code on failure.
+fn build_analysis(program_path: &str, experiment_path: Option<&str>) -> Result<Analysis, ExitCode> {
     let source = match std::fs::read_to_string(program_path) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("cannot read {program_path}: {e}");
-            return ExitCode::from(2);
+            return Err(ExitCode::from(2));
         }
     };
-
     let mut analysis = match Analysis::for_source(&source) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("{program_path}: {e}");
-            return ExitCode::from(2);
+            return Err(ExitCode::from(2));
         }
     };
     if let Some(experiment_path) = experiment_path {
@@ -134,14 +120,14 @@ fn main() -> ExitCode {
             Ok(s) => s,
             Err(e) => {
                 eprintln!("cannot read {experiment_path}: {e}");
-                return ExitCode::from(2);
+                return Err(ExitCode::from(2));
             }
         };
         let experiment = match parse_experiment(&experiment_text) {
             Ok(e) => e,
             Err(e) => {
                 eprintln!("{experiment_path}: {e}");
-                return ExitCode::from(2);
+                return Err(ExitCode::from(2));
             }
         };
         analysis = analysis.world(experiment.world);
@@ -156,6 +142,94 @@ fn main() -> ExitCode {
             analysis = analysis.enforcing();
         }
     }
+    Ok(analysis)
+}
+
+/// `ldx explain <program.lx> [experiment.ldx] [--json <path>]
+/// [--no-prune]`: causal provenance chains as deterministic JSON (stdout
+/// unless `--json`), with the terminal rendering on stderr.
+fn run_explain(args: &[String], obs_args: &obs::ObsArgs) -> ExitCode {
+    const USAGE: &str =
+        "usage: ldx explain <program.lx> [experiment.ldx] [--json <out.json>] [--no-prune]";
+    let mut files = Vec::new();
+    let mut json_path = None;
+    let mut no_prune = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json_path = it.next(),
+            "--no-prune" => no_prune = true,
+            _ if !arg.starts_with("--") && files.len() < 2 => files.push(arg.as_str()),
+            _ => {
+                eprintln!("{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(&program_path) = files.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let mut analysis = match build_analysis(program_path, files.get(1).copied()) {
+        Ok(a) => a,
+        Err(code) => return code,
+    };
+    if no_prune {
+        analysis = analysis.no_prune();
+    }
+    let report = analysis.explain(program_path);
+    eprint!("{}", report.render_text());
+    let json = report.to_json();
+    match json_path {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &json) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+        None => print!("{json}"),
+    }
+    if let Err(e) = obs::finish(obs_args) {
+        eprintln!("cannot write observability output: {e}");
+        return ExitCode::from(2);
+    }
+    ExitCode::from(u8::from(report.any_causal()))
+}
+
+fn main() -> ExitCode {
+    let (args, obs_args) = obs::parse_obs_args(std::env::args().skip(1).collect());
+    obs::init(&obs_args);
+    if args.first().map(String::as_str) == Some("analyze") {
+        return run_analyze(&args[1..], &obs_args);
+    }
+    if args.first().map(String::as_str) == Some("explain") {
+        return run_explain(&args[1..], &obs_args);
+    }
+    let flags: Vec<&str> = args
+        .iter()
+        .filter(|a| a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let files: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let (program_path, experiment_path) = match files.as_slice() {
+        [program] => (*program, None),
+        [program, experiment] => (*program, Some(*experiment)),
+        _ => {
+            eprintln!(
+                "usage: ldx <program.lx> [experiment.ldx] [--attribute] [--strength] [--taint] \
+                 [--explain] [--no-prune] [--trace <out.json>] [--metrics <out.json>]\n\
+                 \x20      ldx analyze <program.lx> [--json <out.json>] [--dot <out.dot>]\n\
+                 \x20      ldx explain <program.lx> [experiment.ldx] [--json <out.json>] \
+                 [--no-prune]"
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut analysis = match build_analysis(program_path, experiment_path.map(String::as_str)) {
+        Ok(a) => a,
+        Err(code) => return code,
+    };
     if flags.contains(&"--no-prune") {
         analysis = analysis.no_prune();
     }
@@ -216,6 +290,9 @@ fn main() -> ExitCode {
             s.probed,
             s.score()
         );
+    }
+    if flags.contains(&"--explain") {
+        print!("{}", analysis.explain(program_path).render_text());
     }
 
     if let Err(e) = obs::finish(&obs_args) {

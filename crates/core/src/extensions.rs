@@ -51,6 +51,7 @@ fn pruned_report() -> DualReport {
         decoupled: 0,
         master_sinks: 0,
         trace: vec![],
+        flight: ldx_dualex::FlightLog::default(),
     }
 }
 
@@ -125,6 +126,7 @@ impl Analysis {
                     sources: vec![source.clone()],
                     sinks: spec.sinks.clone(),
                     trace: false,
+                    record: spec.record,
                     enforcement: false,
                     exec: spec.exec,
                 };
@@ -232,6 +234,7 @@ impl Analysis {
                     }],
                     sinks: spec.sinks.clone(),
                     trace: false,
+                    record: spec.record,
                     enforcement: false,
                     exec: spec.exec,
                 };

@@ -45,12 +45,17 @@
 
 pub mod batch;
 pub mod cache;
+mod explain;
 mod extensions;
 pub mod obs;
 pub mod specfile;
 
 pub use batch::{BatchEngine, BatchJob, BatchReport, JobResult};
 pub use cache::{CachedInstrumented, InstrumentCache};
+pub use explain::{
+    matcher_desc, mutation_name, CausalChain, ChainMutation, ChainSink, ChainSyscall,
+    ExplainReport, SourceSummary, StaticStep,
+};
 pub use extensions::{SourceAttribution, StrengthReport};
 
 use ldx_dualex::dual_execute;
@@ -60,8 +65,8 @@ use ldx_vos::VosConfig;
 use std::sync::{Arc, OnceLock};
 
 pub use ldx_dualex::{
-    CausalityKind, CausalityRecord, DualReport, DualSpec, Mutation, SinkSpec, SourceMatcher,
-    SourceSpec, TraceAction, TraceEvent,
+    ByteDiff, CausalityKind, CausalityRecord, Decision, DualReport, DualSpec, FlightEvent,
+    FlightLog, Mutation, ResourceId, SinkSpec, SourceMatcher, SourceSpec, TraceAction, TraceEvent,
 };
 pub use ldx_instrument::{instrument, InstrumentationReport};
 pub use ldx_lang::LangError as Error;
@@ -147,6 +152,13 @@ impl Analysis {
     /// Enables alignment-trace recording.
     pub fn traced(mut self) -> Self {
         self.spec.trace = true;
+        self
+    }
+
+    /// Enables the divergence flight recorder (the evidence log behind
+    /// [`Analysis::explain`]).
+    pub fn recorded(mut self) -> Self {
+        self.spec.record = true;
         self
     }
 

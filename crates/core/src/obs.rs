@@ -34,6 +34,8 @@ pub const DEFAULT_COUNTERS: &[&str] = &[
     "sdep.edges",
     "sdep.sites",
     "sdep.pruned_pairs",
+    "recorder.events",
+    "recorder.dropped",
 ];
 
 /// Parsed observability flags.

@@ -7,6 +7,9 @@
 //! sides synchronize at loop backedges (§5) and publish a terminal key on
 //! thread exit so the peer never blocks forever.
 
+use crate::recorder::{
+    FlightEvent, FlightLog, FlightRecorder, ResourceId, DEFAULT_FLIGHT_CAPACITY,
+};
 use crate::report::{CausalityRecord, Role, TraceAction, TraceEvent};
 use ldx_ir::{FuncId, SiteId};
 use ldx_lang::Syscall;
@@ -103,11 +106,15 @@ pub(crate) struct Coupling {
     pub tainted_paths: Mutex<HashSet<String>>,
     /// Lock ids with diverged synchronization (paper §7).
     pub tainted_locks: Mutex<HashSet<i64>>,
+    /// The divergence flight recorder (`None` when recording is off — the
+    /// disabled probe is a single discriminant check, no atomics).
+    pub recorder: Option<FlightRecorder>,
 }
 
 impl Coupling {
-    /// Creates coupling state; `trace` enables event recording.
-    pub fn new(trace: bool) -> Self {
+    /// Creates coupling state; `trace` enables alignment-trace recording,
+    /// `record` enables the flight recorder.
+    pub fn new(trace: bool, record: bool) -> Self {
         Coupling {
             pairs: Mutex::new(HashMap::new()),
             master_exec_done: AtomicBool::new(false),
@@ -117,7 +124,25 @@ impl Coupling {
             stats: CouplingStats::default(),
             tainted_paths: Mutex::new(HashSet::new()),
             tainted_locks: Mutex::new(HashSet::new()),
+            recorder: record.then(|| FlightRecorder::new(DEFAULT_FLIGHT_CAPACITY)),
         }
+    }
+
+    /// Records a flight event into `role`'s lane. The closure is only
+    /// evaluated when the recorder is on, so disabled probes cost nothing.
+    #[inline]
+    pub fn flight(&self, role: Role, event: impl FnOnce() -> FlightEvent) {
+        if let Some(r) = &self.recorder {
+            r.record(role, event());
+        }
+    }
+
+    /// Drains the flight recorder (empty log when recording was off).
+    pub fn take_flight_log(&self) -> FlightLog {
+        self.recorder
+            .as_ref()
+            .map(FlightRecorder::drain)
+            .unwrap_or_default()
     }
 
     /// The pair cell for thread `t`, created on first use by either side.
@@ -187,11 +212,28 @@ impl Coupling {
         }
     }
 
-    /// Marks a filesystem path as tainted.
+    /// Marks a filesystem path as tainted, recording the first divergence
+    /// on each path as a flight event (in the slave lane: only the slave's
+    /// decoupled execution taints).
     pub fn taint_path(&self, path: &str) {
-        self.tainted_paths
-            .lock()
-            .insert(ldx_vos::normalize_path(path).join("/"));
+        let normalized = ldx_vos::normalize_path(path).join("/");
+        let first = self.tainted_paths.lock().insert(normalized.clone());
+        if first {
+            self.flight(Role::Slave, || FlightEvent::Taint {
+                resource: ResourceId::Path(normalized),
+            });
+        }
+    }
+
+    /// Marks a lock id as tainted (grant order diverged), recording the
+    /// first divergence as a flight event.
+    pub fn taint_lock(&self, id: i64) {
+        let first = self.tainted_locks.lock().insert(id);
+        if first {
+            self.flight(Role::Slave, || FlightEvent::Taint {
+                resource: ResourceId::Lock(id),
+            });
+        }
     }
 
     /// Whether a path is tainted.
@@ -203,14 +245,31 @@ impl Coupling {
 
     /// Drains every unconsumed master entry at the end of the run:
     /// master-only syscall differences, including master-only sinks.
+    /// Pairs are drained in `ThreadKey` order so records and flight
+    /// events land deterministically.
     pub fn reconcile(&self) {
         let pairs = self.pairs.lock();
-        for (thread, pair) in pairs.iter() {
+        let mut ordered: Vec<(&ThreadKey, &Arc<Pair>)> = pairs.iter().collect();
+        ordered.sort_by(|a, b| a.0.cmp(b.0));
+        for (thread, pair) in ordered {
             let mut inner = pair.inner.lock();
             while let Some(entry) = inner.queue.pop_front() {
                 if entry.consumed {
                     continue;
                 }
+                self.flight(Role::Master, || {
+                    let cnt = crate::recorder::key_scalar(&entry.key);
+                    FlightEvent::Syscall {
+                        decision: crate::recorder::Decision::MasterOnly,
+                        thread: thread.clone(),
+                        func: entry.func,
+                        site: entry.site,
+                        sys: entry.sys,
+                        master_cnt: cnt,
+                        slave_cnt: cnt,
+                        is_sink: entry.is_sink,
+                    }
+                });
                 if entry.is_sink {
                     self.record(CausalityRecord {
                         kind: crate::report::CausalityKind::MasterOnlySink,
@@ -256,7 +315,7 @@ mod tests {
 
     #[test]
     fn pair_publish_and_finish() {
-        let c = Coupling::new(false);
+        let c = Coupling::new(false, false);
         let t = ThreadKey::root();
         let p = c.pair(&t);
         p.publish(Role::Master, ProgressKey::start());
@@ -269,7 +328,7 @@ mod tests {
 
     #[test]
     fn pair_created_after_execution_end_is_released() {
-        let c = Coupling::new(false);
+        let c = Coupling::new(false, false);
         c.finish_execution(Role::Master);
         let p = c.pair(&ThreadKey::root().child(3));
         assert!(p.inner.lock().master_done);
@@ -277,7 +336,7 @@ mod tests {
 
     #[test]
     fn finish_execution_releases_existing_pairs() {
-        let c = Coupling::new(false);
+        let c = Coupling::new(false, false);
         let p = c.pair(&ThreadKey::root());
         assert!(!p.inner.lock().master_done);
         c.finish_execution(Role::Master);
@@ -286,7 +345,7 @@ mod tests {
 
     #[test]
     fn taint_normalizes_paths() {
-        let c = Coupling::new(false);
+        let c = Coupling::new(false, false);
         c.taint_path("/a//b/");
         assert!(c.path_tainted("a/b"));
         assert!(!c.path_tainted("/a"));
@@ -294,7 +353,7 @@ mod tests {
 
     #[test]
     fn wait_until_releases_on_stop() {
-        let c = Coupling::new(false);
+        let c = Coupling::new(false, false);
         let p = c.pair(&ThreadKey::root());
         let stop = StopSignal::new();
         stop.request_exit(0);
@@ -304,7 +363,7 @@ mod tests {
 
     #[test]
     fn wait_until_observes_condition() {
-        let c = Arc::new(Coupling::new(false));
+        let c = Arc::new(Coupling::new(false, false));
         let p = c.pair(&ThreadKey::root());
         let p2 = Arc::clone(&p);
         let h = std::thread::spawn(move || {
@@ -323,7 +382,7 @@ mod tests {
 
     #[test]
     fn reconcile_counts_master_only_entries() {
-        let c = Coupling::new(false);
+        let c = Coupling::new(false, false);
         let t = ThreadKey::root();
         let p = c.pair(&t);
         {

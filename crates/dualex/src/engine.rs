@@ -45,7 +45,7 @@ pub fn dual_execute(program: Arc<IrProgram>, config: &VosConfig, spec: &DualSpec
 }
 
 fn dual_execute_inner(program: Arc<IrProgram>, config: &VosConfig, spec: &DualSpec) -> DualReport {
-    let coupling = Arc::new(Coupling::new(spec.trace));
+    let coupling = Arc::new(Coupling::new(spec.trace, spec.record));
     let master_vos = Arc::new(Vos::new(config));
 
     let sinks = ResolvedSinks::resolve(spec, &program);
@@ -70,11 +70,17 @@ fn dual_execute_inner(program: Arc<IrProgram>, config: &VosConfig, spec: &DualSp
     });
 
     let exec = spec.exec;
+    // A flow arrow links the master and slave spans of this run in the
+    // Chrome trace (ph "s" on the master thread, ph "f" on the slave's).
+    let flow_id = ldx_obs::tracing_enabled().then(ldx_obs::next_flow_id);
     let (master_result, slave_result) = std::thread::scope(|s| {
         let mc = Arc::clone(&coupling);
         let mp = Arc::clone(&program);
         let master = s.spawn(move || {
             let _s = ldx_obs::span(ldx_obs::cat::MASTER, "run");
+            if let Some(id) = flow_id {
+                ldx_obs::flow_point(ldx_obs::cat::FLOW, "dual-run", id, true);
+            }
             let r = run_program(mp, master_hooks, exec);
             mc.finish_execution(Role::Master);
             r
@@ -83,6 +89,9 @@ fn dual_execute_inner(program: Arc<IrProgram>, config: &VosConfig, spec: &DualSp
         let sp = Arc::clone(&program);
         let slave = s.spawn(move || {
             let _s = ldx_obs::span(ldx_obs::cat::SLAVE, "run");
+            if let Some(id) = flow_id {
+                ldx_obs::flow_point(ldx_obs::cat::FLOW, "dual-run", id, false);
+            }
             let r = run_program(sp, slave_hooks, exec);
             sc.finish_execution(Role::Slave);
             r
@@ -113,6 +122,11 @@ fn dual_execute_inner(program: Arc<IrProgram>, config: &VosConfig, spec: &DualSp
         });
     }
 
+    // Drain the flight recorder after reconcile so master-only leftovers
+    // are included; this is per-Coupling (hence per-job under the batch
+    // engine), so logs can never interleave across jobs.
+    let flight = coupling.take_flight_log();
+
     // Mirror the coupling counters into the process-wide registry (one
     // relaxed load each; the registry sums across batch jobs).
     if ldx_obs::metrics_enabled() {
@@ -133,6 +147,8 @@ fn dual_execute_inner(program: Arc<IrProgram>, config: &VosConfig, spec: &DualSp
             "dualex.master_sinks",
             coupling.stats.master_sinks.load(Ordering::Relaxed),
         );
+        ldx_obs::counter_add("recorder.events", flight.events());
+        ldx_obs::counter_add("recorder.dropped", flight.dropped());
     }
 
     let causality = coupling.records.lock().clone();
@@ -150,6 +166,7 @@ fn dual_execute_inner(program: Arc<IrProgram>, config: &VosConfig, spec: &DualSp
         decoupled: coupling.stats.decoupled.load(Ordering::Relaxed),
         master_sinks: coupling.stats.master_sinks.load(Ordering::Relaxed),
         trace,
+        flight,
     }
 }
 

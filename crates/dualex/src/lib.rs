@@ -54,6 +54,7 @@ mod engine;
 mod fdmap;
 mod master;
 mod mutation;
+mod recorder;
 mod report;
 mod resolved;
 mod slave;
@@ -61,6 +62,10 @@ mod spec;
 
 pub use engine::dual_execute;
 pub use mutation::Mutation;
+pub use recorder::{
+    key_scalar, ByteDiff, Decision, FlightEvent, FlightLog, ResourceId, DEFAULT_FLIGHT_CAPACITY,
+    EXCERPT_BYTES,
+};
 pub use report::{CausalityKind, CausalityRecord, DualReport, Role, TraceAction, TraceEvent};
 pub use spec::{DualSpec, SinkSpec, SourceMatcher, SourceSpec};
 

@@ -10,6 +10,7 @@
 //! master-side stall (deviation documented in DESIGN.md).
 
 use crate::couple::{wait_until, Coupling, Entry};
+use crate::recorder::{key_scalar, Decision, FlightEvent};
 use crate::report::{Role, TraceAction};
 use crate::resolved::ResolvedSinks;
 use ldx_lang::Syscall;
@@ -67,6 +68,19 @@ impl MasterHooks {
             Some(ctx.sys),
             TraceAction::Executed,
         );
+        self.coupling.flight(Role::Master, || {
+            let cnt = key_scalar(&ctx.key);
+            FlightEvent::Syscall {
+                decision: Decision::Executed,
+                thread: ctx.thread.clone(),
+                func: ctx.func,
+                site: ctx.site,
+                sys: ctx.sys,
+                master_cnt: cnt,
+                slave_cnt: cnt,
+                is_sink,
+            }
+        });
     }
 }
 
@@ -139,6 +153,21 @@ impl SyscallHooks for MasterHooks {
         pair.publish(Role::Master, key.clone());
         self.coupling
             .trace_syscall(Role::Master, thread, key, None, TraceAction::Barrier);
+        self.coupling.flight(Role::Master, || {
+            let cnt = key_scalar(key);
+            let peer = pair
+                .inner
+                .lock()
+                .slave_ready
+                .as_ref()
+                .map(key_scalar)
+                .unwrap_or(0);
+            FlightEvent::Barrier {
+                thread: thread.clone(),
+                cnt,
+                delta: peer.saturating_sub(cnt),
+            }
+        });
         if self.enforcement {
             let _s = ldx_obs::span(ldx_obs::cat::BARRIER_WAIT, "loop-barrier");
             wait_until(&pair, _stop, MAX_WAIT, |inner| {

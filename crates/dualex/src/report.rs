@@ -1,5 +1,6 @@
 //! Causality reports and dual-execution outcome types.
 
+use crate::recorder::FlightLog;
 use ldx_ir::{FuncId, SiteId};
 use ldx_lang::Syscall;
 use ldx_runtime::{ProgressKey, RunOutcome, ThreadKey, Trap};
@@ -160,6 +161,9 @@ pub struct DualReport {
     pub master_sinks: u64,
     /// The alignment trace, when requested.
     pub trace: Vec<TraceEvent>,
+    /// The divergence flight log, when `DualSpec::record` was set (empty
+    /// otherwise).
+    pub flight: FlightLog,
 }
 
 impl DualReport {
@@ -226,6 +230,7 @@ mod tests {
             decoupled: 0,
             master_sinks: 0,
             trace: vec![],
+            flight: FlightLog::default(),
         }
     }
 

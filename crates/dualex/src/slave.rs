@@ -20,6 +20,7 @@
 use crate::couple::Coupling;
 use crate::fdmap::{FdInfo, Resource, SlaveFdMap};
 use crate::mutation::Mutation;
+use crate::recorder::{excerpt, key_scalar, ByteDiff, Decision, FlightEvent, ResourceId};
 use crate::report::{CausalityKind, CausalityRecord, Role, TraceAction};
 use crate::resolved::{ResolvedMatcher, ResolvedSinks, ResolvedSources};
 use ldx_lang::Syscall;
@@ -46,19 +47,6 @@ pub(crate) struct SlaveHooks {
     pub fdmap: Mutex<SlaveFdMap>,
     pub decoupled_threads: Mutex<HashSet<ThreadKey>>,
     pub spawn_counts: Mutex<HashMap<ThreadKey, u32>>,
-}
-
-/// Collapses a progress key to a scalar (sum of frame counters and loop
-/// epochs) for coarse stall-delta reporting.
-fn key_scalar(key: &ProgressKey) -> u64 {
-    key.frames
-        .iter()
-        .map(|f| {
-            f.loops
-                .iter()
-                .fold(f.cnt, |acc, &(_, epoch)| acc.saturating_add(epoch))
-        })
-        .fold(0u64, u64::saturating_add)
 }
 
 /// How far the master's published progress is past the slave's key (0
@@ -97,6 +85,33 @@ impl SlaveHooks {
     fn render_args(args: &[Value]) -> String {
         let parts: Vec<String> = args.iter().map(Value::stringify).collect();
         parts.join(", ")
+    }
+
+    /// Records a slave-lane syscall-decision flight event. All events the
+    /// slave witnesses — including master-only entries it skips — land in
+    /// the slave lane so each lane has a single writer while both
+    /// executions run concurrently.
+    #[allow(clippy::too_many_arguments)]
+    fn flight_decision(
+        &self,
+        decision: Decision,
+        ctx: &SyscallCtx,
+        func: ldx_ir::FuncId,
+        site: ldx_ir::SiteId,
+        sys: Syscall,
+        master_cnt: u64,
+        is_sink: bool,
+    ) {
+        self.coupling.flight(Role::Slave, || FlightEvent::Syscall {
+            decision,
+            thread: ctx.thread.clone(),
+            func,
+            site,
+            sys,
+            master_cnt,
+            slave_cnt: key_scalar(&ctx.key),
+            is_sink,
+        });
     }
 
     /// The alignment state machine, instrumented. When observability is
@@ -154,6 +169,15 @@ impl SlaveHooks {
                     ProgressOrder::Behind => {
                         // A master-only syscall the slave will never issue.
                         let e = inner.queue.pop_front().expect("front exists");
+                        self.flight_decision(
+                            Decision::MasterOnly,
+                            ctx,
+                            e.func,
+                            e.site,
+                            e.sys,
+                            key_scalar(&e.key),
+                            e.is_sink,
+                        );
                         if e.is_sink {
                             self.coupling.record(CausalityRecord {
                                 kind: CausalityKind::MasterOnlySink,
@@ -171,6 +195,19 @@ impl SlaveHooks {
                         if front.site == ctx.site && front.sys == ctx.sys {
                             if front.args == args {
                                 let e = inner.queue.pop_front().expect("front exists");
+                                self.flight_decision(
+                                    if is_sink {
+                                        Decision::Compared
+                                    } else {
+                                        Decision::Shared
+                                    },
+                                    ctx,
+                                    ctx.func,
+                                    ctx.site,
+                                    ctx.sys,
+                                    key_scalar(&e.key),
+                                    is_sink,
+                                );
                                 self.coupling.stats.shared.fetch_add(1, Ordering::Relaxed);
                                 ldx_obs::instant(
                                     ldx_obs::cat::SYSCALL_DECISION,
@@ -195,6 +232,26 @@ impl SlaveHooks {
                             let e = inner.queue.pop_front().expect("front exists");
                             if is_sink {
                                 ldx_obs::instant(ldx_obs::cat::SYSCALL_DECISION, "sink-compare");
+                                self.flight_decision(
+                                    Decision::Compared,
+                                    ctx,
+                                    ctx.func,
+                                    ctx.site,
+                                    ctx.sys,
+                                    key_scalar(&e.key),
+                                    true,
+                                );
+                                self.coupling.flight(Role::Slave, || FlightEvent::SinkDiff {
+                                    thread: ctx.thread.clone(),
+                                    func: ctx.func,
+                                    site: ctx.site,
+                                    sys: ctx.sys,
+                                    cnt: key_scalar(&ctx.key),
+                                    diff: ByteDiff::compute(
+                                        &Self::render_args(&e.args),
+                                        &Self::render_args(args),
+                                    ),
+                                });
                                 self.record_sink(
                                     ctx,
                                     CausalityKind::ArgDiff {
@@ -216,6 +273,15 @@ impl SlaveHooks {
                         }
                         // Same key, different site (Alg. 2 case 2).
                         let e = inner.queue.pop_front().expect("front exists");
+                        self.flight_decision(
+                            Decision::MasterOnly,
+                            ctx,
+                            e.func,
+                            e.site,
+                            e.sys,
+                            key_scalar(&e.key),
+                            e.is_sink,
+                        );
                         if e.is_sink {
                             self.coupling.record(CausalityRecord {
                                 kind: CausalityKind::PathDiffAtSink,
@@ -229,6 +295,15 @@ impl SlaveHooks {
                             self.coupling.stats.diffs.fetch_add(1, Ordering::Relaxed);
                         }
                         if is_sink {
+                            self.flight_decision(
+                                Decision::SlaveOnly,
+                                ctx,
+                                ctx.func,
+                                ctx.site,
+                                ctx.sys,
+                                key_scalar(&ctx.key),
+                                true,
+                            );
                             self.record_sink(ctx, CausalityKind::SlaveOnlySink);
                         }
                         return Align::Decoupled;
@@ -237,6 +312,15 @@ impl SlaveHooks {
                         // The master is already past this key: no alignment
                         // will ever exist (Alg. 2 case 1).
                         if is_sink {
+                            self.flight_decision(
+                                Decision::SlaveOnly,
+                                ctx,
+                                ctx.func,
+                                ctx.site,
+                                ctx.sys,
+                                key_scalar(&ctx.key),
+                                true,
+                            );
                             self.record_sink(ctx, CausalityKind::SlaveOnlySink);
                             self.coupling.trace_syscall(
                                 Role::Slave,
@@ -259,6 +343,15 @@ impl SlaveHooks {
                     .is_some_and(|r| !matches!(r.cmp_progress(&ctx.key), ProgressOrder::Behind));
             if master_past {
                 if is_sink {
+                    self.flight_decision(
+                        Decision::SlaveOnly,
+                        ctx,
+                        ctx.func,
+                        ctx.site,
+                        ctx.sys,
+                        key_scalar(&ctx.key),
+                        true,
+                    );
                     self.record_sink(ctx, CausalityKind::SlaveOnlySink);
                 }
                 return Align::Decoupled;
@@ -358,6 +451,10 @@ impl SlaveHooks {
         let ofd = match &info.resource {
             Resource::File { path, flags } => {
                 self.coupling.taint_path(path);
+                self.coupling.flight(Role::Slave, || FlightEvent::CowClone {
+                    resource: ResourceId::Path(ldx_vos::normalize_path(path).join("/")),
+                    pos: info.pos as u64,
+                });
                 let mode = if *flags == 0 { 0 } else { 2 };
                 let SysRet::Int(ofd) = self
                     .overlay
@@ -381,6 +478,10 @@ impl SlaveHooks {
                 ofd
             }
             Resource::Peer { host } => {
+                self.coupling.flight(Role::Slave, || FlightEvent::CowClone {
+                    resource: ResourceId::Peer(host.clone()),
+                    pos: info.pos as u64,
+                });
                 let SysRet::Int(ofd) = self
                     .overlay
                     .syscall(Syscall::Connect, &[SysArg::Str(host.clone())])
@@ -394,6 +495,10 @@ impl SlaveHooks {
                 ofd
             }
             Resource::Client { port, index } => {
+                self.coupling.flight(Role::Slave, || FlightEvent::CowClone {
+                    resource: ResourceId::Client(*port),
+                    pos: info.pos as u64,
+                });
                 // Replay accepts up to this client's index, then skip the
                 // characters already consumed while coupled.
                 let mut ofd = -1;
@@ -439,6 +544,17 @@ impl SlaveHooks {
             &ctx.key,
             Some(ctx.sys),
             TraceAction::Decoupled,
+        );
+        self.flight_decision(
+            Decision::Decoupled,
+            ctx,
+            ctx.func,
+            ctx.site,
+            ctx.sys,
+            // The master's position is unknown here; the slave's own
+            // counter is the deterministic lower bound.
+            key_scalar(&ctx.key),
+            self.sinks.is_sink(ctx.func, ctx.site, ctx.sys, args),
         );
         let mut fdmap = self.fdmap.lock();
         let sys = ctx.sys;
@@ -575,7 +691,7 @@ impl SyscallHooks for SlaveHooks {
                     // Share the master's grant order: wait for the aligned
                     // lock entry before acquiring our own lock (paper §7).
                     if matches!(self.align(ctx, args, false), Align::Decoupled) {
-                        self.coupling.tainted_locks.lock().insert(id);
+                        self.coupling.taint_lock(id);
                     }
                 } else {
                     self.coupling
@@ -593,7 +709,7 @@ impl SyscallHooks for SlaveHooks {
                     && !self.thread_decoupled(&ctx.thread)
                     && matches!(self.align(ctx, args, false), Align::Decoupled)
                 {
-                    self.coupling.tainted_locks.lock().insert(id);
+                    self.coupling.taint_lock(id);
                 }
                 self.locks.unlock(id);
                 Ok(SysOutcome::Value(Value::Int(0)))
@@ -706,6 +822,15 @@ impl SyscallHooks for SlaveHooks {
                             Some(sys),
                             TraceAction::Mutated,
                         );
+                        self.coupling.flight(Role::Slave, || FlightEvent::Mutated {
+                            thread: ctx.thread.clone(),
+                            func: ctx.func,
+                            site: ctx.site,
+                            sys,
+                            cnt: key_scalar(&ctx.key),
+                            original: excerpt(&outcome.stringify()),
+                            mutated: excerpt(&mutated.stringify()),
+                        });
                     }
                     outcome = mutated;
                 }
@@ -731,6 +856,15 @@ impl SyscallHooks for SlaveHooks {
         pair.publish(Role::Slave, key.clone());
         self.coupling
             .trace_syscall(Role::Slave, thread, key, None, TraceAction::Barrier);
+        self.coupling.flight(Role::Slave, || {
+            let cnt = key_scalar(key);
+            let delta = master_delta(pair.inner.lock().master_ready.as_ref(), key);
+            FlightEvent::Barrier {
+                thread: thread.clone(),
+                cnt,
+                delta,
+            }
+        });
         Ok(())
     }
 

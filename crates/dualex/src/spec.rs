@@ -104,6 +104,10 @@ pub struct DualSpec {
     pub sinks: SinkSpec,
     /// Record a per-syscall alignment trace (paper Figures 3 and 5).
     pub trace: bool,
+    /// Record the divergence flight log (every interposition decision,
+    /// taint/CoW event, barrier release, and byte-level sink diff) on the
+    /// report for `ldx explain`-style forensics.
+    pub record: bool,
     /// Enforcement mode: the master blocks at sinks and loop barriers
     /// until the slave catches up, like the paper's original protocol
     /// (Alg. 2 lines 2–6). Detection results are identical; this recovers
@@ -120,6 +124,7 @@ impl Default for DualSpec {
             sources: Vec::new(),
             sinks: SinkSpec::Outputs,
             trace: false,
+            record: false,
             enforcement: false,
             exec: ExecConfig::default(),
         }
@@ -150,6 +155,12 @@ impl DualSpec {
     /// Enables trace recording (builder style).
     pub fn traced(mut self) -> Self {
         self.trace = true;
+        self
+    }
+
+    /// Enables the divergence flight recorder (builder style).
+    pub fn recorded(mut self) -> Self {
+        self.record = true;
         self
     }
 
@@ -193,5 +204,11 @@ mod tests {
         assert!(spec.sources.is_empty());
         assert_eq!(spec.sinks, SinkSpec::Outputs);
         assert!(!spec.trace);
+        assert!(!spec.record);
+    }
+
+    #[test]
+    fn recorded_builder_sets_flag() {
+        assert!(DualSpec::default().recorded().record);
     }
 }

@@ -21,6 +21,7 @@ fn spec_file(path: &str, mutation: Mutation, sinks: SinkSpec) -> DualSpec {
         }],
         sinks,
         trace: false,
+        record: false,
         enforcement: false,
         exec: Default::default(),
     }
@@ -171,6 +172,7 @@ fn renamed_file_is_tainted_and_decoupled() {
         }],
         sinks: SinkSpec::NetworkOut,
         trace: false,
+        record: false,
         enforcement: false,
         exec: Default::default(),
     };
@@ -331,6 +333,7 @@ fn sources_on_entropy_syscalls() {
         }],
         sinks: SinkSpec::NetworkOut,
         trace: false,
+        record: false,
         enforcement: false,
         exec: Default::default(),
     };
@@ -406,6 +409,7 @@ fn decoupled_peer_recv_reconstructs_connection() {
         }],
         sinks: SinkSpec::NetworkOut,
         trace: false,
+        record: false,
         enforcement: false,
         exec: Default::default(),
     };
@@ -454,6 +458,7 @@ fn decoupled_accept_replays_backlog_position() {
         }],
         sinks: SinkSpec::NetworkOut,
         trace: false,
+        record: false,
         enforcement: false,
         exec: Default::default(),
     };
@@ -506,6 +511,7 @@ fn decoupled_descriptor_never_collides_with_held_master_descriptor() {
         }],
         sinks: SinkSpec::NetworkOut,
         trace: false,
+        record: false,
         enforcement: false,
         exec: Default::default(),
     };

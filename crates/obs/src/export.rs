@@ -38,10 +38,11 @@ fn micros(ns: u64) -> String {
 
 fn event_json(ev: &TraceEventSnapshot) -> String {
     let mut out = String::new();
-    let ph = if ev.dur_ns == 0 && ev.cat == crate::cat::SYSCALL_DECISION {
-        "i"
-    } else {
-        "X"
+    let ph = match ev.flow {
+        Some((_, true)) => "s",
+        Some((_, false)) => "f",
+        None if ev.dur_ns == 0 && ev.cat == crate::cat::SYSCALL_DECISION => "i",
+        None => "X",
     };
     let _ = write!(
         out,
@@ -52,11 +53,23 @@ fn event_json(ev: &TraceEventSnapshot) -> String {
         micros(ev.ts_ns),
         ev.tid
     );
-    if ph == "X" {
-        let _ = write!(out, ",\"dur\":{}", micros(ev.dur_ns));
-    } else {
-        // Thread-scoped instant.
-        out.push_str(",\"s\":\"t\"");
+    match ph {
+        "X" => {
+            let _ = write!(out, ",\"dur\":{}", micros(ev.dur_ns));
+        }
+        "i" => {
+            // Thread-scoped instant.
+            out.push_str(",\"s\":\"t\"");
+        }
+        _ => {
+            // Flow point: the shared arrow id; the finish end binds to the
+            // *enclosing* slice (`bp:"e"`), the Chrome-convention pairing.
+            let id = ev.flow.map(|(id, _)| id).unwrap_or(0);
+            let _ = write!(out, ",\"id\":{id}");
+            if ph == "f" {
+                out.push_str(",\"bp\":\"e\"");
+            }
+        }
     }
     if !ev.args.is_empty() {
         out.push_str(",\"args\":{");
@@ -218,6 +231,23 @@ mod tests {
         assert!(json.contains("\"args\":{\"jobs\":3}"));
         assert!(json.contains("\"ph\":\"i\""));
         assert!(!json.contains("trace-truncated"));
+        reset();
+    }
+
+    #[test]
+    fn flow_points_export_as_s_and_f() {
+        let _g = testutil::lock();
+        reset();
+        enable_tracing(16);
+        crate::flow_point(cat::FLOW, "dual-run", 42, true);
+        crate::flow_point(cat::FLOW, "dual-run", 42, false);
+        let json = chrome_trace_json();
+        assert!(json.contains("\"ph\":\"s\""));
+        assert!(json.contains("\"ph\":\"f\""));
+        assert_eq!(json.matches("\"id\":42").count(), 2);
+        // Only the finish end binds to the enclosing slice.
+        assert_eq!(json.matches("\"bp\":\"e\"").count(), 1);
+        assert!(json.contains("\"cat\":\"flow\""));
         reset();
     }
 

@@ -53,8 +53,8 @@ pub use metrics::{
 };
 pub use stall::{stall_record, stalls_snapshot, StallSnapshot};
 pub use trace::{
-    instant, record_complete, span, trace_dropped, trace_snapshot, Span, TraceEventSnapshot,
-    DEFAULT_TRACE_CAPACITY,
+    flow_point, instant, record_complete, span, trace_dropped, trace_snapshot, Span,
+    TraceEventSnapshot, DEFAULT_TRACE_CAPACITY,
 };
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -79,6 +79,9 @@ pub mod cat {
     pub const BATCH: &str = "batch";
     /// Static dependence analysis (PDG construction, reachability).
     pub const SDEP: &str = "sdep";
+    /// Flow arrows linking related spans across threads (e.g. the
+    /// master↔slave pair of one dual run).
+    pub const FLOW: &str = "flow";
 }
 
 static METRICS_ON: AtomicBool = AtomicBool::new(false);
@@ -152,6 +155,14 @@ pub fn now_ns() -> u64 {
     static EPOCH: OnceLock<Instant> = OnceLock::new();
     let epoch = *EPOCH.get_or_init(Instant::now);
     Instant::now().duration_since(epoch).as_nanos() as u64
+}
+
+/// A fresh process-unique flow-arrow id. Both ends of one arrow (see
+/// [`flow_point`]) must carry the same id, and distinct arrows in one
+/// trace must not share ids.
+pub fn next_flow_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
 }
 
 /// A small dense per-thread id for trace `tid` fields (`ThreadId` has no

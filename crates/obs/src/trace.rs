@@ -29,6 +29,10 @@ pub struct TraceEventSnapshot {
     pub tid: u64,
     /// Small key/value annotations (`delta`, `waits`, …).
     pub args: Vec<(&'static str, i64)>,
+    /// Flow-arrow binding: `Some((id, is_start))` marks this event as a
+    /// flow point (`ph:"s"` start / `ph:"f"` finish in the Chrome export)
+    /// linking spans across threads under the shared `id`.
+    pub flow: Option<(u64, bool)>,
 }
 
 struct Ring {
@@ -111,6 +115,7 @@ pub fn record_complete(
         dur_ns,
         tid: thread_id(),
         args,
+        flow: None,
     };
     with_ring(|r| {
         if let Some(ring) = r.as_mut() {
@@ -125,6 +130,30 @@ pub fn instant(cat: &'static str, name: impl Into<Cow<'static, str>>) {
         return;
     }
     record_complete(cat, name, now_ns(), 0, Vec::new());
+}
+
+/// Records a flow point: the start (`is_start`) or finish of a flow arrow
+/// identified by `id`. Chrome/Perfetto bind the two ends by matching
+/// category, name, and id, drawing an arrow between the enclosing spans —
+/// use the same `cat`/`name` on both ends (see [`crate::next_flow_id`]).
+pub fn flow_point(cat: &'static str, name: impl Into<Cow<'static, str>>, id: u64, is_start: bool) {
+    if !tracing_enabled() {
+        return;
+    }
+    let ev = TraceEventSnapshot {
+        cat,
+        name: name.into(),
+        ts_ns: now_ns(),
+        dur_ns: 0,
+        tid: thread_id(),
+        args: Vec::new(),
+        flow: Some((id, is_start)),
+    };
+    with_ring(|r| {
+        if let Some(ring) = r.as_mut() {
+            ring.push(ev);
+        }
+    });
 }
 
 /// An in-flight span: created by [`span`], recorded on drop.
@@ -226,6 +255,21 @@ mod tests {
         let names: Vec<String> = evs.iter().map(|e| e.name.to_string()).collect();
         let expect: Vec<String> = (92..100).map(|i| format!("job{i}")).collect();
         assert_eq!(names, expect);
+        reset();
+    }
+
+    #[test]
+    fn flow_points_carry_id_and_direction() {
+        let _g = testutil::lock();
+        reset();
+        enable_tracing(16);
+        flow_point(cat::FLOW, "dual-run", 7, true);
+        flow_point(cat::FLOW, "dual-run", 7, false);
+        let evs = trace_snapshot();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].flow, Some((7, true)));
+        assert_eq!(evs[1].flow, Some((7, false)));
+        assert_eq!(evs[0].cat, cat::FLOW);
         reset();
     }
 

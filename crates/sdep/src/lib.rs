@@ -369,6 +369,48 @@ mod tests {
     }
 
     #[test]
+    fn path_witness_connects_source_to_sink() {
+        let (_, analysis) = analyze(TWO_SOURCE);
+        let sources = analysis.candidate_sites(&ldx_dualex::SourceMatcher::FileRead("/a".into()));
+        assert_eq!(sources.len(), 1);
+        let sinks = analysis.sink_sites(&SinkSpec::Outputs);
+        let sink = *sinks.iter().next().expect("one write sink");
+        let path = analysis
+            .path_witness(sources[0], sink)
+            .expect("a static path exists");
+        assert_eq!(path.first(), Some(&sources[0]), "path starts at the source");
+        assert_eq!(path.last(), Some(&sink), "path ends at the sink");
+        // Independent pair: the dead /b read reaches no sink.
+        let dead = analysis.candidate_sites(&ldx_dualex::SourceMatcher::FileRead("/b".into()));
+        assert!(analysis.path_witness(dead[0], sink).is_none());
+    }
+
+    #[test]
+    fn path_witness_is_deterministic() {
+        let (_, a1) = analyze(TWO_SOURCE);
+        let (_, a2) = analyze(TWO_SOURCE);
+        let src = a1.candidate_sites(&ldx_dualex::SourceMatcher::FileRead("/a".into()))[0];
+        let sink = *a1.sink_sites(&SinkSpec::Outputs).iter().next().unwrap();
+        assert_eq!(a1.path_witness(src, sink), a2.path_witness(src, sink));
+    }
+
+    #[test]
+    fn path_to_end_witnesses_exit_dependence() {
+        let (_, analysis) = analyze(
+            r#"
+            fn main() {
+                let fd = open("/in", 0);
+                let v = int(read(fd, 8));
+                exit(v);
+            }
+        "#,
+        );
+        let src = analysis.candidate_sites(&ldx_dualex::SourceMatcher::FileRead("/in".into()))[0];
+        let path = analysis.path_to_end(src).expect("source affects the end");
+        assert_eq!(path.first(), Some(&src));
+    }
+
+    #[test]
     fn oracle_rejects_fabricated_record() {
         use ldx_dualex::{CausalityKind, CausalityRecord};
         use ldx_runtime::{ProgressKey, ThreadKey};
@@ -391,6 +433,7 @@ mod tests {
             decoupled: 0,
             master_sinks: 0,
             trace: vec![],
+            flight: ldx_dualex::FlightLog::default(),
         };
         assert!(analysis
             .check_report(&[SourceSpec::file("/b")], &report)

@@ -210,6 +210,78 @@ impl StaticAnalysis {
         })
     }
 
+    /// A shortest PDG path from `from` to `to`, rendered as the sequence
+    /// of syscall sites it passes through (both endpoints included when
+    /// they are sites). `None` when either site is unknown or no path
+    /// exists. Deterministic: BFS over the PDG's fixed successor order.
+    ///
+    /// This is the *static witness* behind a dynamic causal pair: the
+    /// dependence edges along which the mutation could have propagated.
+    pub fn path_witness(&self, from: SiteRef, to: SiteRef) -> Option<Vec<SiteRef>> {
+        let start = self.pdg.sites.get(&from)?.node;
+        let goal = self.pdg.sites.get(&to)?.node;
+        self.site_path(start, goal)
+    }
+
+    /// A shortest PDG path from `from` to the end-state node — the static
+    /// witness for an `EndDiff` record (exit code / trap differences).
+    pub fn path_to_end(&self, from: SiteRef) -> Option<Vec<SiteRef>> {
+        let start = self.pdg.sites.get(&from)?.node;
+        let goal = self.pdg.node_id(&Node::End)?;
+        self.site_path(start, goal)
+    }
+
+    /// BFS with parent tracking from `start` to `goal`, projected onto
+    /// syscall sites (consecutive duplicates collapsed).
+    fn site_path(&self, start: u32, goal: u32) -> Option<Vec<SiteRef>> {
+        let n = self.pdg.nodes().len();
+        let mut parent: Vec<Option<u32>> = vec![None; n];
+        let mut seen = vec![false; n];
+        seen[start as usize] = true;
+        let mut found = start == goal;
+        let mut queue = std::collections::VecDeque::from([start]);
+        'bfs: while let Some(u) = queue.pop_front() {
+            if found {
+                break;
+            }
+            for &v in self.pdg.succs(u) {
+                if seen[v as usize] {
+                    continue;
+                }
+                seen[v as usize] = true;
+                parent[v as usize] = Some(u);
+                if v == goal {
+                    found = true;
+                    break 'bfs;
+                }
+                queue.push_back(v);
+            }
+        }
+        if !found {
+            return None;
+        }
+        let mut node_path = vec![goal];
+        while let Some(p) = parent[*node_path.last().expect("nonempty") as usize] {
+            node_path.push(p);
+        }
+        node_path.reverse();
+        let site_of: BTreeMap<u32, SiteRef> = self
+            .pdg
+            .sites
+            .iter()
+            .map(|(&key, info)| (info.node, key))
+            .collect();
+        let mut out: Vec<SiteRef> = Vec::new();
+        for nid in node_path {
+            if let Some(&s) = site_of.get(&nid) {
+                if out.last() != Some(&s) {
+                    out.push(s);
+                }
+            }
+        }
+        Some(out)
+    }
+
     /// Source specs the program structure itself suggests: one per
     /// statically identified input resource (file paths read, peers
     /// received from, client ports served). Used by the pruning ablation

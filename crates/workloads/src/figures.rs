@@ -42,6 +42,7 @@ fn spec_with(mutation: Mutation) -> DualSpec {
         }],
         sinks: SinkSpec::NetworkOut,
         trace: false,
+        record: false,
         enforcement: false,
         exec: Default::default(),
     }
@@ -174,6 +175,7 @@ pub fn figure2_employee() -> FigureCase {
             }],
             sinks: SinkSpec::NetworkOut,
             trace: true,
+            record: false,
             enforcement: false,
             exec: Default::default(),
         },
@@ -217,6 +219,7 @@ pub fn figure4_loops() -> FigureCase {
             }],
             sinks: SinkSpec::NetworkOut,
             trace: true,
+            record: false,
             enforcement: false,
             exec: Default::default(),
         },

@@ -125,6 +125,7 @@ impl Workload {
             sources: self.sources.clone(),
             sinks: self.sinks.clone(),
             trace: false,
+            record: false,
             enforcement: false,
             exec: Default::default(),
         }
@@ -136,6 +137,7 @@ impl Workload {
             sources: sources.clone(),
             sinks: self.sinks.clone(),
             trace: false,
+            record: false,
             enforcement: false,
             exec: Default::default(),
         })

@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Validate BENCH_<name>.json summaries against schemas/bench_summary_schema.json
+and flag wall-clock regressions against the committed baseline.
+
+Usage:
+    check_bench_summary.py BENCH_table1.json [BENCH_figure6.json ...]
+    check_bench_summary.py --strict BENCH_*.json   # regressions become failures
+
+Each summary's wall_ns is compared to scripts/bench_baseline.json (keyed
+by bench name, recorded on a warm developer machine). A summary more
+than 20% slower than its baseline is reported; by default that's a
+warning — CI machines are noisy — and only --strict turns it into a
+non-zero exit. A bench missing from the baseline is fine (new bench);
+the message suggests re-recording.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+SCHEMA_PATH = HERE.parent / "schemas" / "bench_summary_schema.json"
+BASELINE_PATH = HERE / "bench_baseline.json"
+REGRESSION_THRESHOLD = 1.20
+
+TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "boolean": bool,
+    "number": (int, float),
+}
+
+
+class Invalid(Exception):
+    pass
+
+
+def fail(path, message):
+    raise Invalid(f"{path or '$'}: {message}")
+
+
+def validate(value, schema, path=""):
+    if "enum" in schema:
+        if value not in schema["enum"]:
+            fail(path, f"{value!r} not in {schema['enum']}")
+        return
+    typ = schema.get("type")
+    if typ == "integer":
+        if not isinstance(value, int) or isinstance(value, bool):
+            fail(path, f"expected integer, got {type(value).__name__}")
+    elif typ is not None:
+        expected = TYPES[typ]
+        if not isinstance(value, expected):
+            fail(path, f"expected {typ}, got {type(value).__name__}")
+    if "minimum" in schema and value < schema["minimum"]:
+        fail(path, f"{value} < minimum {schema['minimum']}")
+    if isinstance(value, dict):
+        for key in schema.get("required", ()):
+            if key not in value:
+                fail(path, f"missing required key {key!r}")
+        props = schema.get("properties", {})
+        extra = schema.get("additionalProperties")
+        for key, item in value.items():
+            if key in props:
+                validate(item, props[key], f"{path}.{key}")
+            elif isinstance(extra, dict):
+                validate(item, extra, f"{path}.{key}")
+    if isinstance(value, list):
+        item_schema = schema.get("items")
+        if isinstance(item_schema, dict):
+            for i, item in enumerate(value):
+                validate(item, item_schema, f"{path}[{i}]")
+
+
+def main():
+    args = sys.argv[1:]
+    strict = "--strict" in args
+    files = [Path(a) for a in args if a != "--strict"]
+    if not files:
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    schema = json.loads(SCHEMA_PATH.read_text())
+    baseline = {}
+    if BASELINE_PATH.exists():
+        baseline = json.loads(BASELINE_PATH.read_text()).get("wall_ns", {})
+
+    regressions = []
+    try:
+        for f in files:
+            summary = json.loads(f.read_text())
+            validate(summary, schema, f.name)
+            name = summary["name"]
+            wall = summary["wall_ns"]
+            base = baseline.get(name)
+            if base is None:
+                print(
+                    f"{f.name}: {wall / 1e6:.1f} ms, no baseline for "
+                    f"{name!r} (re-record scripts/bench_baseline.json)"
+                )
+                continue
+            ratio = wall / max(base, 1)
+            verdict = "ok"
+            if ratio > REGRESSION_THRESHOLD:
+                verdict = f"REGRESSION (> {REGRESSION_THRESHOLD:.0%} of baseline)"
+                regressions.append((name, ratio))
+            print(
+                f"{f.name}: {wall / 1e6:.1f} ms vs baseline "
+                f"{base / 1e6:.1f} ms ({ratio:.2f}x) {verdict}"
+            )
+    except Invalid as err:
+        print(f"FAIL {err}", file=sys.stderr)
+        return 1
+
+    if regressions:
+        for name, ratio in regressions:
+            print(f"WARN {name} is {ratio:.2f}x its baseline", file=sys.stderr)
+        if strict:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

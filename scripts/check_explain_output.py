@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Validate `ldx explain` reports against schemas/explain_schema.json.
+
+Usage:
+    check_explain_output.py explain_out/            # a directory of explain_*.json
+    check_explain_output.py report.json [more.json] # individual files
+
+Stdlib-only: implements the JSON-Schema subset the schema file actually
+uses (type incl. "null", anyOf, required, properties,
+additionalProperties-as-schema, items, enum, minimum, $ref into
+#/definitions). On top of the schema it asserts semantics the schema
+cannot express: every chain's source_index names a source the report
+marks causal, a chain's sink always carries a syscall name, and a
+statically-independent source is never causal (the sdep soundness
+contract surfaced through explain).
+"""
+
+import json
+import sys
+from pathlib import Path
+
+SCHEMA_PATH = Path(__file__).resolve().parent.parent / "schemas" / "explain_schema.json"
+
+TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "boolean": bool,
+    "number": (int, float),
+    "null": type(None),
+}
+
+
+class Invalid(Exception):
+    pass
+
+
+def fail(path, message):
+    raise Invalid(f"{path or '$'}: {message}")
+
+
+def validate(value, schema, defs, path=""):
+    if "$ref" in schema:
+        name = schema["$ref"].rsplit("/", 1)[-1]
+        validate(value, defs[name], defs, path)
+        return
+    if "anyOf" in schema:
+        errors = []
+        for option in schema["anyOf"]:
+            try:
+                validate(value, option, defs, path)
+                return
+            except Invalid as err:
+                errors.append(str(err))
+        fail(path, f"no anyOf branch matched: {errors}")
+    if "enum" in schema:
+        if value not in schema["enum"]:
+            fail(path, f"{value!r} not in {schema['enum']}")
+        return
+    typ = schema.get("type")
+    if typ == "integer":
+        if not isinstance(value, int) or isinstance(value, bool):
+            fail(path, f"expected integer, got {type(value).__name__}")
+    elif typ is not None:
+        expected = TYPES[typ]
+        if not isinstance(value, expected) or (
+            typ == "number" and isinstance(value, bool)
+        ):
+            fail(path, f"expected {typ}, got {type(value).__name__}")
+    if "minimum" in schema and value < schema["minimum"]:
+        fail(path, f"{value} < minimum {schema['minimum']}")
+    if isinstance(value, dict):
+        for key in schema.get("required", ()):
+            if key not in value:
+                fail(path, f"missing required key {key!r}")
+        props = schema.get("properties", {})
+        extra = schema.get("additionalProperties")
+        for key, item in value.items():
+            if key in props:
+                validate(item, props[key], defs, f"{path}.{key}")
+            elif isinstance(extra, dict):
+                validate(item, extra, defs, f"{path}.{key}")
+    if isinstance(value, list):
+        item_schema = schema.get("items")
+        if isinstance(item_schema, dict):
+            for i, item in enumerate(value):
+                validate(item, item_schema, defs, f"{path}[{i}]")
+
+
+def check_report(report, schema, defs, label):
+    validate(report, schema, defs, label)
+    causal = {s["index"] for s in report["sources"] if s["causal"]}
+    for i, chain in enumerate(report["chains"]):
+        where = f"{label}.chains[{i}]"
+        if chain["source_index"] not in causal:
+            fail(where, "chain for a source the report does not mark causal")
+        if not chain["sink"]["sys"]:
+            fail(where, "chain sink without a syscall name")
+    for s in report["sources"]:
+        if s["statically_independent"] and s["causal"]:
+            fail(
+                f"{label}.sources[{s['index']}]",
+                "statically independent source marked causal "
+                "(sdep soundness violation)",
+            )
+    return len(report["chains"]), len(causal)
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    files = []
+    for arg in sys.argv[1:]:
+        p = Path(arg)
+        if p.is_dir():
+            files.extend(sorted(p.glob("explain_*.json")))
+        else:
+            files.append(p)
+    if not files:
+        print("FAIL no explain_*.json files found", file=sys.stderr)
+        return 1
+
+    schema = json.loads(SCHEMA_PATH.read_text())
+    defs = schema["definitions"]
+    chains = causal = 0
+    try:
+        for f in files:
+            c, s = check_report(json.loads(f.read_text()), schema, defs, f.name)
+            chains += c
+            causal += s
+    except Invalid as err:
+        print(f"FAIL {err}", file=sys.stderr)
+        return 1
+    print(
+        f"explain ok: {len(files)} reports, {causal} causal sources, "
+        f"{chains} provenance chains"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -91,14 +91,31 @@ def check_trace(events, defs):
     missing = REQUIRED_TRACE_CATEGORIES - cats
     if missing:
         fail("trace", f"missing required span categories: {sorted(missing)}")
+    flow_starts, flow_finishes = {}, {}
     for i, e in enumerate(events):
         if e["ph"] == "X" and "dur" not in e:
             fail(f"trace[{i}]", "complete event without dur")
         if e["ph"] == "i" and e.get("s") != "t":
             fail(f"trace[{i}]", 'instant event without "s": "t"')
+        if e["ph"] in ("s", "f"):
+            if "id" not in e:
+                fail(f"trace[{i}]", "flow event without id")
+            if "dur" in e:
+                fail(f"trace[{i}]", "flow event with dur")
+            side = flow_starts if e["ph"] == "s" else flow_finishes
+            side[e["id"]] = (e["cat"], e["name"])
+            if e["ph"] == "f" and e.get("bp") != "e":
+                fail(f"trace[{i}]", 'flow finish without "bp": "e"')
+    # Every arrow that has both ends must agree on cat+name (the Chrome
+    # pairing key); one-ended arrows are legal (the peer span may have
+    # been evicted from the ring).
+    for fid in flow_starts.keys() & flow_finishes.keys():
+        if flow_starts[fid] != flow_finishes[fid]:
+            fail("trace", f"flow id {fid} ends disagree on cat/name")
     print(
         f"trace ok: {len(events)} events, "
-        f"{len(cats)} categories ({', '.join(sorted(cats))})"
+        f"{len(cats)} categories ({', '.join(sorted(cats))}), "
+        f"{len(flow_starts)} flow arrows"
     )
 
 

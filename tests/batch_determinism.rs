@@ -67,6 +67,66 @@ fn batch_matches_sequential_under_one_worker_and_oversubscription() {
     }
 }
 
+/// Per-job flight recorders are private to their dual execution: under an
+/// oversubscribed pool every job's flight log matches the log the same
+/// job produces on a sequential pool — co-running jobs never interleave
+/// events into each other's recorders. The only field allowed to differ
+/// is the barrier release `delta`, which the recorder documents as
+/// timing-dependent (how far the peer's published counter had advanced).
+#[test]
+fn flight_logs_never_interleave_across_batch_jobs() {
+    use ldx_dualex::FlightEvent;
+
+    fn stable(lane: &[FlightEvent]) -> Vec<String> {
+        lane.iter()
+            .map(|ev| match ev {
+                FlightEvent::Barrier { thread, cnt, .. } => {
+                    format!("Barrier {{ thread: {thread:?}, cnt: {cnt} }}")
+                }
+                other => format!("{other:?}"),
+            })
+            .collect()
+    }
+
+    let workloads = deterministic_corpus();
+    let recording_jobs = || -> Vec<BatchJob> {
+        workloads
+            .iter()
+            .map(|w| {
+                let mut spec = w.dual_spec();
+                spec.record = true;
+                BatchJob::new(w.name, w.program(), w.world.clone(), spec)
+            })
+            .collect()
+    };
+    let sequential = BatchEngine::sequential().run(recording_jobs());
+    let parallel = BatchEngine::new(usize::MAX).run(recording_jobs());
+    for (s, p) in sequential.results.iter().zip(&parallel.results) {
+        assert!(
+            s.report.flight.master.len() + s.report.flight.slave.len() > 0,
+            "{}: recorder enabled but empty",
+            s.label
+        );
+        for (lane, sl, pl) in [
+            ("master", &s.report.flight.master, &p.report.flight.master),
+            ("slave", &s.report.flight.slave, &p.report.flight.slave),
+        ] {
+            assert_eq!(
+                stable(sl),
+                stable(pl),
+                "{}: {lane} flight lane differs under the parallel schedule",
+                s.label
+            );
+        }
+        assert_eq!(
+            s.report.flight.dropped(),
+            p.report.flight.dropped(),
+            "{}",
+            s.label
+        );
+    }
+}
+
 #[test]
 fn results_come_back_in_submission_order_regardless_of_job_size() {
     // Interleave heavy and trivial workloads so completion order differs

@@ -52,6 +52,7 @@ fn identity_mutation_never_reports() {
                 .collect(),
             sinks: w.sinks.clone(),
             trace: false,
+            record: false,
             enforcement: false,
             exec: ExecConfig::default(),
         };

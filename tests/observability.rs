@@ -98,6 +98,47 @@ fn overflowed_ring_keeps_newest_and_reports_truncation() {
     obs::reset();
 }
 
+/// Every traced dual execution links its master and slave spans with a
+/// flow arrow: a start point on the master thread and a finish point on
+/// the slave thread sharing one id, exported as Chrome `ph:"s"`/`ph:"f"`
+/// events under the `flow` category.
+#[test]
+fn dual_run_spans_are_linked_by_flow_arrows() {
+    let _g = lock();
+    obs::reset();
+    obs::enable_tracing(obs::DEFAULT_TRACE_CAPACITY);
+    let report = leak_analysis().run();
+    assert!(report.leaked());
+    let events = obs::trace_snapshot();
+
+    let mut starts = std::collections::BTreeMap::new();
+    let mut finishes = std::collections::BTreeMap::new();
+    for e in &events {
+        if let Some((id, is_start)) = e.flow {
+            assert_eq!(e.cat, "flow", "flow points live in the flow category");
+            assert_eq!(e.name, "dual-run");
+            let side = if is_start { &mut starts } else { &mut finishes };
+            side.insert(id, e.tid);
+        }
+    }
+    assert_eq!(starts.len(), 1, "one dual execution, one arrow start");
+    assert_eq!(finishes.len(), 1);
+    let (&id, &master_tid) = starts.iter().next().unwrap();
+    let slave_tid = finishes[&id];
+    assert_ne!(
+        master_tid, slave_tid,
+        "the arrow must cross from the master thread to the slave thread"
+    );
+
+    // The Chrome export renders both ends with the pairing fields the
+    // schema (and Perfetto) require.
+    let json = obs::chrome_trace_json();
+    assert!(json.contains("\"ph\":\"s\""), "missing flow start event");
+    assert!(json.contains("\"ph\":\"f\""), "missing flow finish event");
+    assert!(json.contains("\"bp\":\"e\""), "flow finish without bp:e");
+    obs::reset();
+}
+
 #[test]
 fn metrics_registry_is_consistent_under_batch_engine() {
     let _g = lock();

@@ -40,6 +40,7 @@ fn spec(mutation: Mutation) -> DualSpec {
         }],
         sinks: SinkSpec::FileOut,
         trace: false,
+        record: false,
         enforcement: false,
         exec: ExecConfig {
             max_steps: 5_000_000,

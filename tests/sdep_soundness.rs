@@ -94,6 +94,7 @@ proptest! {
             }],
             sinks: SinkSpec::FileOut,
             trace: false,
+            record: false,
             enforcement: false,
             exec: ExecConfig {
                 max_steps: 5_000_000,
@@ -126,6 +127,42 @@ fn oracle_holds_over_the_workload_corpus() {
                 "workload `{}`: {}",
                 w.name,
                 sdep.check_report(&spec.sources, &report).unwrap_err()
+            );
+        }
+    }
+}
+
+/// The `ldx explain` source verdicts restate the static analysis
+/// faithfully: a source the report marks `statically_independent` is
+/// exactly one `may_cause` rejects against the workload's sinks — and
+/// such a source is never causal (the soundness oracle surfaced through
+/// the forensics layer).
+#[test]
+fn explain_static_verdicts_agree_with_may_cause() {
+    for w in corpus() {
+        let sdep = StaticAnalysis::analyze(&w.program());
+        let mut analysis = Analysis::for_source(&w.source)
+            .expect("corpus workload compiles")
+            .world(w.world.clone())
+            .sinks(w.sinks.clone());
+        for s in &w.sources {
+            analysis = analysis.source(s.clone());
+        }
+        let report = analysis.explain(w.name);
+        for summary in &report.sources {
+            let spec = &w.sources[summary.index];
+            assert_eq!(
+                summary.statically_independent,
+                !sdep.may_cause(spec, &w.sinks),
+                "workload `{}`, source {:?}",
+                w.name,
+                spec.matcher
+            );
+            assert!(
+                !(summary.statically_independent && summary.causal),
+                "workload `{}`: statically independent source {:?} marked causal",
+                w.name,
+                spec.matcher
             );
         }
     }

@@ -33,6 +33,7 @@ fn large_generated_programs_instrument_and_dual_execute() {
             }],
             sinks: SinkSpec::FileOut,
             trace: false,
+            record: false,
             enforcement: false,
             exec: ExecConfig {
                 max_steps: 20_000_000,
@@ -113,6 +114,7 @@ fn deeply_nested_loop_tower_aligns() {
         }],
         sinks: SinkSpec::NetworkOut,
         trace: false,
+        record: false,
         enforcement: false,
         exec: ExecConfig::default(),
     };
